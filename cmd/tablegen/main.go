@@ -1,0 +1,169 @@
+// Command tablegen regenerates the paper's evaluation artifacts: the HDF
+// coverage sweep of Fig. 3 and Tables I, II and III, on the synthetic
+// circuit suite (see DESIGN.md for the substitution rationale).
+//
+// Usage:
+//
+//	tablegen -all -scale 0.08
+//	tablegen -table2 -circuits s9234,s13207 -scale 0.1
+//	tablegen -fig3 -circuits s9234
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fastmon/internal/aging"
+	"fastmon/internal/exper"
+	"fastmon/internal/schedule"
+)
+
+func main() {
+	var (
+		t1       = flag.Bool("table1", false, "regenerate Table I")
+		t2       = flag.Bool("table2", false, "regenerate Table II")
+		t3       = flag.Bool("table3", false, "regenerate Table III")
+		fig3     = flag.Bool("fig3", false, "regenerate the Fig. 3 sweep (first selected circuit)")
+		ablate   = flag.Bool("ablate", false, "run the ablation studies (first selected circuit)")
+		robust   = flag.Bool("robust", false, "run the variation-robustness study (first selected circuit)")
+		lifetime = flag.Bool("lifetime", false, "run the aging lifetime sweep (first selected circuit)")
+		all      = flag.Bool("all", false, "regenerate everything")
+		scale    = flag.Float64("scale", 0.08, "circuit size scale (1.0 = paper sizes)")
+		circuits = flag.String("circuits", "", "comma-separated subset (default: all twelve)")
+		maxF     = flag.Int("maxfaults", 2500, "fault-sample budget per circuit")
+		budget   = flag.Duration("budget", 5*time.Second, "time budget per exact covering solve")
+		steps    = flag.Int("steps", 10, "sweep points for -fig3")
+	)
+	flag.Parse()
+	if !*t1 && !*t2 && !*t3 && !*fig3 && !*ablate && !*robust && !*lifetime {
+		*all = true
+	}
+	if *all {
+		*t1, *t2, *t3, *fig3 = true, true, true, true
+	}
+	cfg := exper.SuiteConfig{Scale: *scale, MaxFaults: *maxF, SolverBudget: *budget}
+	if *circuits != "" {
+		cfg.Names = strings.Split(*circuits, ",")
+	}
+	if err := run(cfg, *t1, *t2, *t3, *fig3, *ablate, *robust, *lifetime, *steps); err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg exper.SuiteConfig, t1, t2, t3, fig3, ablate, robust, lifetime bool, steps int) error {
+	start := time.Now()
+	specs, err := cfg.Defaults().Select()
+	if err != nil {
+		return err
+	}
+	runs := make([]*exper.Run, 0, len(specs))
+	for _, spec := range specs {
+		t0 := time.Now()
+		r, err := exper.RunCircuit(spec, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		fmt.Fprintf(os.Stderr, "# %-8s done in %v (%d gates, %d patterns, %d HDF candidates)\n",
+			spec.Name, time.Since(t0).Round(time.Millisecond),
+			r.Flow.Circuit.NumGates(), len(r.Flow.Patterns), len(r.Flow.HDFs))
+		runs = append(runs, r)
+	}
+	fmt.Printf("# fastmon tablegen — scale %.3f, %d circuits, fault budget %d\n",
+		cfg.Defaults().Scale, len(runs), cfg.Defaults().MaxFaults)
+	fmt.Printf("# shapes are comparable to the paper; absolute values scale with circuit size\n\n")
+
+	if fig3 {
+		pts := exper.Fig3(runs[0], steps)
+		exper.WriteFig3(os.Stdout, pts)
+		fmt.Printf("(circuit: %s)\n\n", runs[0].Spec.Name)
+	}
+	var t1rows []exper.T1Row
+	var t2rows []exper.T2Row
+	var t3rows []exper.T3Row
+	if t1 {
+		for _, r := range runs {
+			t1rows = append(t1rows, exper.TableI(r))
+		}
+		exper.WriteTableI(os.Stdout, t1rows)
+		fmt.Println()
+	}
+	if t2 {
+		for _, r := range runs {
+			row, _, err := exper.TableII(r)
+			if err != nil {
+				return err
+			}
+			t2rows = append(t2rows, row)
+		}
+		exper.WriteTableII(os.Stdout, t2rows)
+		fmt.Println()
+	}
+	if t3 {
+		for _, r := range runs {
+			row, err := exper.TableIII(r)
+			if err != nil {
+				return err
+			}
+			t3rows = append(t3rows, row)
+		}
+		exper.WriteTableIII(os.Stdout, t3rows)
+		fmt.Println()
+	}
+	if t1 && t2 && t3 {
+		// Qualitative comparison against the published tables.
+		exper.WriteShapeChecks(os.Stdout, exper.ShapeChecks(t1rows, t2rows, t3rows))
+		fmt.Println()
+	}
+	if ablate {
+		spec := runs[0].Spec
+		fr, err := exper.AblateMonitorFraction(spec, cfg, []float64{0.10, 0.25, 0.50, 1.0})
+		if err != nil {
+			return err
+		}
+		dr, err := exper.AblateDelayConfigs(runs[0])
+		if err != nil {
+			return err
+		}
+		gr, err := exper.AblateGlitch(spec, cfg, []float64{0, 1, 2})
+		if err != nil {
+			return err
+		}
+		exper.WriteAblation(os.Stdout, fr, dr, gr)
+		fc, err := exper.AblateFreeConfig(runs[0])
+		if err != nil {
+			return err
+		}
+		exper.WriteFreeConfig(os.Stdout, fc)
+	}
+	if robust {
+		s, err := runs[0].Flow.BuildSchedule(schedule.ILP, 1.0)
+		if err != nil {
+			return err
+		}
+		var pts []exper.RobustnessPoint
+		for _, sigma := range []float64{0, 0.02, 0.05, 0.10} {
+			p, err := exper.VariationRobustness(runs[0], s, sigma, 5, 1234)
+			if err != nil {
+				return err
+			}
+			pts = append(pts, p)
+		}
+		exper.WriteRobustness(os.Stdout, pts)
+		fmt.Println()
+	}
+	if lifetime {
+		model := aging.Model{A: 0.3, N: 0.3, Seed: 5}
+		pts, err := exper.LifetimeSweep(runs[0].Spec, cfg, model, []float64{0, 2, 5, 10, 15, 20})
+		if err != nil {
+			return err
+		}
+		exper.WriteLifetime(os.Stdout, pts)
+		fmt.Println()
+	}
+	fmt.Printf("# total %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,102 @@
+// Diagnosis: a device fails some FAST applications in the field or on the
+// test floor — which marginal site is degrading? The example injects a
+// hidden delay fault, collects the failing-tap observations a schedule
+// application would record, and ranks candidate sites by cause-effect
+// matching with the timing-accurate simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastmon"
+	"fastmon/internal/diagnose"
+	"fastmon/internal/sim"
+)
+
+func main() {
+	c, err := fastmon.Generate(fastmon.GenSpec{
+		Name: "dut", Gates: 300, FFs: 24, Inputs: 10, Outputs: 8, Depth: 14, Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := fastmon.NanGate45()
+	flow, err := fastmon.Run(c, lib, fastmon.Config{MonitorFraction: 0.5, ATPGSeed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device: %s\n", c.Stats())
+	fmt.Printf("monitors: %s\n\n", flow.Placement)
+
+	// The production FAST schedule is the application set: diagnosis
+	// replays exactly what the test floor ran.
+	sched, err := flow.BuildSchedule(fastmon.MethodILP, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var apps []diagnose.Observation
+	for _, plan := range sched.Periods {
+		for _, combo := range plan.Combos {
+			apps = append(apps, diagnose.Observation{
+				Period: plan.Period, Pattern: combo.Pattern, Config: combo.Config,
+			})
+		}
+	}
+	fmt.Printf("schedule: %d frequencies, %d applications\n\n", sched.NumFrequencies(), sched.Size())
+
+	// The "truth": a marginal site somewhere in the device — drawn from
+	// the schedule's covered faults (an undetectable fault cannot be
+	// diagnosed by any method).
+	candidates := fastmon.FaultUniverse(c)
+	if len(sched.Periods) == 0 || len(sched.Periods[0].Faults) == 0 {
+		log.Fatal("empty schedule on this device")
+	}
+	firstPlan := sched.Periods[0]
+	truth := flow.TargetData[firstPlan.Faults[len(firstPlan.Faults)/2]].Fault
+	fmt.Printf("injected marginality (hidden from the diagnosis): %s\n\n", truth.Name(c))
+	e := sim.NewEngine(c, flow.Annot)
+	dcfg := diagnose.Config{Delta: flow.Delta, Glitch: flow.DetectCfg.Glitch}
+	obs, err := diagnose.ObserveFault(e, flow.Placement, flow.Patterns, truth, apps, dcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fails := 0
+	var kept []diagnose.Observation
+	for _, o := range obs {
+		if len(o.FailingTaps) > 0 {
+			fails++
+			if len(kept) < 6 {
+				kept = append(kept, o)
+			}
+		}
+	}
+	for _, o := range obs { // a few passing applications exonerate
+		if len(o.FailingTaps) == 0 && len(kept) < 10 {
+			kept = append(kept, o)
+		}
+	}
+	fmt.Printf("observed: %d failing applications (of %d); diagnosing from %d observations\n\n",
+		fails, len(obs), len(kept))
+	if fails == 0 {
+		fmt.Println("fault invisible under this session — rerun with another seed")
+		return
+	}
+
+	ranked, err := diagnose.Run(e, flow.Placement, flow.Patterns, candidates, kept, dcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top candidates:")
+	for i, cd := range ranked {
+		if i >= 5 {
+			break
+		}
+		marker := ""
+		if cd.Fault == truth {
+			marker = "   <-- injected fault"
+		}
+		fmt.Printf("  %d. %-18s score %.2f (%d exact, %d partial)%s\n",
+			i+1, cd.Fault.Name(c), cd.Score, cd.Matched, cd.Partial, marker)
+	}
+}

@@ -1,0 +1,65 @@
+// Scheduling walkthrough: shows the two-step test-schedule optimization
+// of Sec. IV on a generated circuit — observation-time discretization
+// (Fig. 5), optimal frequency selection, per-frequency pattern ×
+// monitor-configuration selection, and the comparison against the greedy
+// heuristic and the conventional no-monitor baseline (Table II).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastmon"
+	"fastmon/internal/exper"
+	"fastmon/internal/schedule"
+)
+
+func main() {
+	spec, _ := exper.SpecByName("s13207")
+	run, err := fastmon.RunExperiment(spec, fastmon.SuiteConfig{Scale: 0.08, MaxFaults: 1500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	flow := run.Flow
+	fmt.Printf("circuit %s (scaled): %s\n", spec.Name, flow.Circuit.Stats())
+	fmt.Printf("target HDFs to schedule: %d\n\n", len(flow.TargetData))
+
+	for _, m := range []fastmon.Method{
+		fastmon.MethodConventional, fastmon.MethodHeuristic, fastmon.MethodILP,
+	} {
+		s, err := flow.BuildSchedule(m, 1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fastmon.ValidateSchedule(flow.TargetData, s, flow.ScheduleOptions(m, 1.0)); err != nil {
+			log.Fatal(err)
+		}
+		naive := schedule.ComboUniverse(len(flow.Patterns), flow.Placement.NumConfigs(), s.NumFrequencies())
+		fmt.Printf("%-6s covers %4d/%4d HDFs with |F|=%2d frequencies, |S|=%4d applications (naïve %6d, −%.1f%%)\n",
+			s.Method, s.Covered, s.Coverable, s.NumFrequencies(), s.Size(),
+			naive, schedule.ReductionPercent(naive, s.Size()))
+	}
+
+	// Detail of the proposed (ILP) schedule.
+	s, err := flow.BuildSchedule(fastmon.MethodILP, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nproposed schedule (per selected FAST frequency):")
+	tm := schedule.DefaultTimeModel(flow.Circuit.NumFFs())
+	for _, p := range s.Periods {
+		fmt.Printf("  capture %v (%.0f MHz): %4d faults, %3d pattern-config combos\n",
+			p.Period, 1e6/float64(p.Period), len(p.Faults), len(p.Combos))
+	}
+	fmt.Printf("estimated test time (PLL re-lock + scan): %v\n", tm.Estimate(s))
+
+	// Partial-coverage ladder (Table III).
+	fmt.Println("\npartial coverage targets:")
+	for _, cov := range []float64{0.99, 0.98, 0.95, 0.90} {
+		ps, err := flow.BuildSchedule(fastmon.MethodILP, cov)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  cov ≥ %2.0f%%: |F|=%2d |S|=%4d\n", cov*100, ps.NumFrequencies(), ps.Size())
+	}
+}

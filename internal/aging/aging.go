@@ -1,0 +1,168 @@
+// Package aging models device degradation over the operational lifetime
+// and the monitor-based wear-out prediction lifecycle of Fig. 2: a
+// power-law delay-degradation model (BTI/HCI-shaped) ages the timing
+// annotation, and a guard-band controller walks the programmable delay
+// elements from the widest window (early-life sensing) to the narrowest
+// (imminent-failure warning) as alerts fire.
+//
+// The paper's evaluation does not measure physical aging — this package
+// is the synthetic substitute that exercises the monitor lifecycle for the
+// wear-out example and tests.
+package aging
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fastmon/internal/cell"
+	"fastmon/internal/circuit"
+	"fastmon/internal/monitor"
+	"fastmon/internal/sim"
+	"fastmon/internal/tunit"
+)
+
+// Model is a per-gate power-law degradation: the delay of gate g after t
+// years is d·(1 + A·act_g·t^N) where act_g ∈ [0,1] is a random activity
+// factor (stress duty cycle) drawn per gate from Seed.
+//
+// BTI-induced threshold-voltage shift follows t^n with n ≈ 0.15–0.25 [1];
+// the defaults produce ≈10 % delay degradation after 10 years on fully
+// stressed gates.
+type Model struct {
+	A    float64 // degradation amplitude
+	N    float64 // time exponent
+	Seed int64   // per-gate activity factors
+}
+
+// DefaultModel returns the BTI-shaped defaults.
+func DefaultModel(seed int64) Model {
+	return Model{A: 0.063, N: 0.2, Seed: seed}
+}
+
+// Factor returns the delay multiplier of a gate with the given activity
+// after years of operation.
+func (m Model) Factor(activity, years float64) float64 {
+	if years <= 0 {
+		return 1
+	}
+	return 1 + m.A*activity*math.Pow(years, m.N)
+}
+
+// Degrade returns a copy of the annotation aged by the given number of
+// years. Activities are deterministic per (Seed, gate).
+func Degrade(a *cell.Annotation, m Model, years float64) *cell.Annotation {
+	rng := rand.New(rand.NewSource(m.Seed))
+	out := &cell.Annotation{Lib: a.Lib, Delay: make([][]cell.Edge, len(a.Delay))}
+	for g, pins := range a.Delay {
+		activity := 0.2 + 0.8*rng.Float64() // every gate ages somewhat
+		if pins == nil {
+			continue
+		}
+		f := m.Factor(activity, years)
+		np := make([]cell.Edge, len(pins))
+		for p, e := range pins {
+			np[p] = e.Scale(f)
+		}
+		out.Delay[g] = np
+	}
+	return out
+}
+
+// Phase is the lifecycle state of the prediction controller.
+type Phase uint8
+
+const (
+	// Healthy: no alert under the current guard band.
+	Healthy Phase = iota
+	// Degrading: at least one alert has fired; countermeasures assumed
+	// active and a narrower guard band selected.
+	Degrading
+	// Imminent: the narrowest guard band alerts — failure predicted.
+	Imminent
+)
+
+func (p Phase) String() string {
+	switch p {
+	case Healthy:
+		return "healthy"
+	case Degrading:
+		return "degrading"
+	case Imminent:
+		return "imminent-failure"
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(p))
+}
+
+// Step is the report of one lifetime checkpoint.
+type Step struct {
+	Years    float64
+	Config   int   // delay-element index in use (into Placement.Delays)
+	Alerts   []int // monitored tap indices that alerted
+	Phase    Phase
+	Headroom tunit.Time // minimum remaining slack-to-alert over monitors
+}
+
+// Simulate runs the wear-out prediction lifecycle: at each checkpoint the
+// circuit is aged, the workload pattern is simulated, and every monitor
+// checks its guard band under the controller's current delay element. On
+// the first alert the controller steps from the widest delay element
+// (early aggressive sensing, Fig. 2 b) to the next narrower one (Fig. 2 c);
+// an alert under the narrowest element predicts imminent failure
+// (Fig. 2 d).
+func Simulate(c *circuit.Circuit, a *cell.Annotation, placement *monitor.Placement,
+	pattern sim.Pattern, clk tunit.Time, model Model, checkpoints []float64) ([]Step, error) {
+
+	if placement.NumConfigs() == 0 {
+		return nil, fmt.Errorf("aging: placement has no delay elements")
+	}
+	cfgIdx := placement.NumConfigs() - 1 // start with the widest guard band
+	taps := c.Taps()
+	var steps []Step
+	for _, years := range checkpoints {
+		aged := Degrade(a, model, years)
+		e := sim.NewEngine(c, aged)
+		wfs, err := e.Baseline(pattern)
+		if err != nil {
+			return nil, err
+		}
+		// Controller loop: after an alert the guard band is narrowed and
+		// the monitors re-checked immediately (reconfiguration is a
+		// register write, instantaneous at lifetime scale), so a fast
+		// degradation step walks several configurations within one
+		// checkpoint.
+		var st Step
+		for {
+			d := placement.Delays[cfgIdx]
+			st = Step{Years: years, Config: cfgIdx, Headroom: tunit.Infinity}
+			for _, ti := range placement.Taps {
+				w := wfs[taps[ti].Gate]
+				if monitor.Alert(w, clk, d) {
+					st.Alerts = append(st.Alerts, ti)
+				}
+				if h := monitor.SlackToAlert(w, clk, d); h < st.Headroom {
+					st.Headroom = h
+				}
+			}
+			if len(st.Alerts) == 0 {
+				if cfgIdx == placement.NumConfigs()-1 {
+					st.Phase = Healthy
+				} else {
+					st.Phase = Degrading
+				}
+				break
+			}
+			if cfgIdx == 0 {
+				st.Phase = Imminent
+				break
+			}
+			st.Phase = Degrading
+			cfgIdx-- // narrow the guard band and re-check
+		}
+		steps = append(steps, st)
+		if st.Phase == Imminent {
+			break
+		}
+	}
+	return steps, nil
+}

@@ -1,0 +1,240 @@
+package atpg
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"fastmon/internal/circuit"
+	"fastmon/internal/fault"
+	"fastmon/internal/logic"
+	"fastmon/internal/sim"
+)
+
+// Config controls test generation.
+type Config struct {
+	// RandomBatches is the number of 64-pattern random blocks tried before
+	// deterministic generation (two consecutive useless blocks also end
+	// the phase).
+	RandomBatches int
+	// MaxBacktracks bounds each PODEM/justification run.
+	MaxBacktracks int
+	// Seed drives random patterns and don't-care fill.
+	Seed int64
+	// Compact enables reverse-order static compaction.
+	Compact bool
+}
+
+// DefaultConfig returns the configuration used by the experiment harness.
+func DefaultConfig(seed int64) Config {
+	return Config{RandomBatches: 48, MaxBacktracks: 600, Seed: seed, Compact: true}
+}
+
+// Stats summarizes one generation run.
+type Stats struct {
+	Faults         int // faults targeted
+	Detected       int // faults with a test in the final set
+	Untestable     int // proven untestable (no pattern pair exists)
+	Aborted        int // backtrack limit exceeded
+	RandomDetected int // faults covered by the random phase
+	RawPatterns    int // patterns before compaction
+	Patterns       int // final pattern count
+}
+
+// Coverage returns detected / testable (the ATPG "test coverage" metric).
+func (s Stats) Coverage() float64 {
+	testable := s.Faults - s.Untestable
+	if testable <= 0 {
+		return 1
+	}
+	return float64(s.Detected) / float64(testable)
+}
+
+// Generate produces a compacted transition-fault test set for the given
+// fault list. Faults are interpreted as transition faults at the
+// small-delay fault sites (slow-to-rise/slow-to-fall polarity preserved).
+func Generate(c *circuit.Circuit, faults []fault.Fault, cfg Config) ([]sim.Pattern, Stats) {
+	if cfg.RandomBatches == 0 && cfg.MaxBacktracks == 0 {
+		cfg = DefaultConfig(cfg.Seed)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nsrc := len(c.Sources())
+	st := Stats{Faults: len(faults)}
+
+	detected := make([]bool, len(faults))
+	var patterns []sim.Pattern
+
+	// dropPass removes faults detected by patterns[from:] from the
+	// remaining set.
+	dropPass := func(from int) {
+		for start := from; start < len(patterns); start += 64 {
+			b := logic.NewBatch(c, patterns, start)
+			for fi := range faults {
+				if detected[fi] {
+					continue
+				}
+				if b.DetectTransition(faults[fi]) != 0 {
+					detected[fi] = true
+				}
+			}
+		}
+	}
+
+	// Random phase.
+	misses := 0
+	for batch := 0; batch < cfg.RandomBatches && misses < 4; batch++ {
+		blk := make([]sim.Pattern, 64)
+		for i := range blk {
+			blk[i] = sim.Pattern{V1: make([]bool, nsrc), V2: make([]bool, nsrc)}
+			for j := 0; j < nsrc; j++ {
+				blk[i].V1[j] = rng.Intn(2) == 1
+				blk[i].V2[j] = rng.Intn(2) == 1
+			}
+		}
+		b := logic.NewBatch(c, blk, 0)
+		useful := make(map[int][]int) // pattern index -> fault indices
+		for fi := range faults {
+			if detected[fi] {
+				continue
+			}
+			det := b.DetectTransition(faults[fi])
+			if det == 0 {
+				continue
+			}
+			k := bits.TrailingZeros64(det)
+			useful[k] = append(useful[k], fi)
+		}
+		if len(useful) == 0 {
+			misses++
+			continue
+		}
+		misses = 0
+		for k := 0; k < 64; k++ {
+			fis, ok := useful[k]
+			if !ok {
+				continue
+			}
+			patterns = append(patterns, blk[k])
+			for _, fi := range fis {
+				detected[fi] = true
+				st.RandomDetected++
+			}
+		}
+	}
+
+	// Deterministic phase.
+	an := newAnalysis(c)
+	lastDrop := len(patterns)
+	for fi := range faults {
+		if detected[fi] {
+			continue
+		}
+		f := faults[fi]
+		stuck := v0
+		if !f.Rising {
+			stuck = v1
+		}
+		m := newMachineWith(an, f, stuck)
+		switch m.run(cfg.MaxBacktracks) {
+		case untestable:
+			st.Untestable++
+			continue
+		case aborted:
+			st.Aborted++
+			continue
+		}
+		v2 := append([]value(nil), m.assign...)
+		v1assign, jres := justifyWith(an, m.siteNet(), stuck, cfg.MaxBacktracks)
+		switch jres {
+		case untestable:
+			// The site cannot take the pre-transition value at all: the
+			// transition fault is untestable.
+			st.Untestable++
+			continue
+		case aborted:
+			st.Aborted++
+			continue
+		}
+		patterns = append(patterns, sim.Pattern{V1: fill(v1assign, rng), V2: fill(v2, rng)})
+		detected[fi] = true
+		if len(patterns)-lastDrop >= 32 {
+			dropPass(lastDrop)
+			lastDrop = len(patterns)
+		}
+	}
+	dropPass(lastDrop)
+
+	st.RawPatterns = len(patterns)
+	if cfg.Compact {
+		patterns = compact(c, patterns, faults, detected)
+	}
+	st.Patterns = len(patterns)
+	for _, d := range detected {
+		if d {
+			st.Detected++
+		}
+	}
+	return patterns, st
+}
+
+// compact performs reverse-order static compaction: patterns are
+// re-simulated newest-first and a pattern is kept only if it is the first
+// (in reverse order) to detect some fault. Coverage is preserved exactly.
+func compact(c *circuit.Circuit, patterns []sim.Pattern, faults []fault.Fault, detected []bool) []sim.Pattern {
+	if len(patterns) == 0 {
+		return patterns
+	}
+	rev := make([]sim.Pattern, len(patterns))
+	for i, p := range patterns {
+		rev[len(patterns)-1-i] = p
+	}
+	keepRev := make([]bool, len(rev))
+	remaining := make([]bool, len(faults))
+	nRemaining := 0
+	for fi := range faults {
+		if detected[fi] {
+			remaining[fi] = true
+			nRemaining++
+		}
+	}
+	for start := 0; start < len(rev) && nRemaining > 0; start += 64 {
+		b := logic.NewBatch(c, rev, start)
+		for fi := range faults {
+			if !remaining[fi] {
+				continue
+			}
+			det := b.DetectTransition(faults[fi])
+			if det == 0 {
+				continue
+			}
+			k := bits.TrailingZeros64(det)
+			keepRev[start+k] = true
+			remaining[fi] = false
+			nRemaining--
+		}
+	}
+	var out []sim.Pattern
+	for i := len(rev) - 1; i >= 0; i-- {
+		if keepRev[i] {
+			out = append(out, rev[i])
+		}
+	}
+	return out
+}
+
+// Verify recomputes the set of fault indices detected by the pattern set
+// (used by tests and the experiment harness to validate coverage claims).
+func Verify(c *circuit.Circuit, patterns []sim.Pattern, faults []fault.Fault) []bool {
+	detected := make([]bool, len(faults))
+	for start := 0; start < len(patterns); start += 64 {
+		b := logic.NewBatch(c, patterns, start)
+		for fi := range faults {
+			if detected[fi] {
+				continue
+			}
+			if b.DetectTransition(faults[fi]) != 0 {
+				detected[fi] = true
+			}
+		}
+	}
+	return detected
+}

@@ -1,0 +1,476 @@
+// Package atpg generates compacted transition-delay-fault test sets — the
+// substitute for the commercial ATPG the paper uses ("compacted transition
+// delay fault test sets with an average test coverage of over 99.9%").
+//
+// Tests are enhanced-scan pattern pairs (V1, V2): V1 justifies the
+// pre-transition value at the fault site, V2 is a PODEM-generated
+// stuck-at-style test that launches the transition and propagates the
+// effect to an observation point. A 64-way parallel-pattern simulator
+// (package logic) drives random-pattern generation, fault dropping and
+// reverse-order static compaction.
+package atpg
+
+import (
+	"sort"
+
+	"fastmon/internal/circuit"
+	"fastmon/internal/fault"
+)
+
+// value is the 3-valued logic domain of the test generator.
+type value uint8
+
+const (
+	vX value = iota // unassigned / unknown
+	v0
+	v1
+)
+
+func (v value) String() string {
+	switch v {
+	case v0:
+		return "0"
+	case v1:
+		return "1"
+	}
+	return "X"
+}
+
+// not inverts a defined value and keeps X.
+func (v value) not() value {
+	switch v {
+	case v0:
+		return v1
+	case v1:
+		return v0
+	}
+	return vX
+}
+
+func fromBool(b bool) value {
+	if b {
+		return v1
+	}
+	return v0
+}
+
+// eval3 evaluates a gate kind over 3-valued inputs.
+func eval3(kind circuit.Kind, in []value) value {
+	switch kind {
+	case circuit.Buf:
+		return in[0]
+	case circuit.Not:
+		return in[0].not()
+	case circuit.And, circuit.Nand:
+		out := v1
+		for _, v := range in {
+			if v == v0 {
+				out = v0
+				break
+			}
+			if v == vX {
+				out = vX
+			}
+		}
+		if kind == circuit.Nand {
+			return out.not()
+		}
+		return out
+	case circuit.Or, circuit.Nor:
+		out := v0
+		for _, v := range in {
+			if v == v1 {
+				out = v1
+				break
+			}
+			if v == vX {
+				out = vX
+			}
+		}
+		if kind == circuit.Nor {
+			return out.not()
+		}
+		return out
+	case circuit.Xor, circuit.Xnor:
+		out := v0
+		for _, v := range in {
+			if v == vX {
+				return vX
+			}
+			if v == v1 {
+				out = out.not()
+			}
+		}
+		if kind == circuit.Xnor {
+			return out.not()
+		}
+		return out
+	}
+	panic("atpg: eval3 on " + kind.String())
+}
+
+// controlling returns the controlling input value of the kind and whether
+// one exists (XOR-family gates have none).
+func controlling(kind circuit.Kind) (value, bool) {
+	switch kind {
+	case circuit.And, circuit.Nand:
+		return v0, true
+	case circuit.Or, circuit.Nor:
+		return v1, true
+	}
+	return vX, false
+}
+
+// analysis holds the fault-independent guidance data shared by every
+// PODEM machine of one circuit: SCOAP-like controllability costs,
+// observability depths, and the tap/source index tables. Computing it
+// once per circuit instead of once per fault dominates ATPG throughput on
+// large designs.
+type analysis struct {
+	c        *circuit.Circuit
+	taps     []circuit.Tap
+	srcIdx   map[int]int // source gate ID -> source order index
+	cc0, cc1 []int       // SCOAP-style controllability costs per net
+	obsDepth []int       // min fanout hops to an observation point (-1: none)
+	tapGate  map[int]bool
+}
+
+// machine is the dual good/faulty 3-valued circuit state of one PODEM run.
+// The faulty machine forces the fault site to its stuck value (the V1
+// value of the site, which a gross transition delay holds through the
+// capture edge).
+type machine struct {
+	*analysis
+	flt   fault.Fault
+	stuck value // forced value at the site in the faulty machine
+	// assign holds the current source decisions (indexed by source order).
+	assign []value
+	good   []value // per gate
+	bad    []value // per gate (faulty machine)
+
+	// siteCone is the fanout cone of the fault site net (topological
+	// order): the only region where fault effects can exist. Frontier and
+	// detection scans are restricted to it.
+	siteCone []int
+	// siteTaps lists the tap-gate IDs inside the cone (or the site net
+	// itself when observed directly).
+	siteTaps []int
+
+	// dirtyVer/curVer implement an O(1)-clear dirty set for event-driven
+	// implication: dirtyVer[id] == curVer marks a changed net.
+	dirtyVer []int
+	curVer   int
+}
+
+func newAnalysis(c *circuit.Circuit) *analysis {
+	a := &analysis{
+		c:       c,
+		taps:    c.Taps(),
+		srcIdx:  map[int]int{},
+		tapGate: map[int]bool{},
+	}
+	for i, id := range c.Sources() {
+		a.srcIdx[id] = i
+	}
+	for _, tap := range a.taps {
+		a.tapGate[tap.Gate] = true
+	}
+	a.computeCosts()
+	return a
+}
+
+func newMachine(c *circuit.Circuit, f fault.Fault, stuck value) *machine {
+	return newMachineWith(newAnalysis(c), f, stuck)
+}
+
+func newMachineWith(an *analysis, f fault.Fault, stuck value) *machine {
+	m := &machine{
+		analysis: an,
+		flt:      f, stuck: stuck,
+		assign:   make([]value, len(an.c.Sources())),
+		good:     make([]value, len(an.c.Gates)),
+		bad:      make([]value, len(an.c.Gates)),
+		dirtyVer: make([]int, len(an.c.Gates)),
+	}
+	site := m.siteNet()
+	m.siteCone = an.c.FanoutCone(site)
+	if an.tapGate[site] {
+		m.siteTaps = append(m.siteTaps, site)
+	}
+	for _, id := range m.siteCone {
+		if an.tapGate[id] {
+			m.siteTaps = append(m.siteTaps, id)
+		}
+	}
+	return m
+}
+
+// computeCosts derives SCOAP-like controllability costs and the fanout
+// distance to the nearest observation point. They guide backtrace input
+// selection and D-frontier ordering.
+func (m *analysis) computeCosts() {
+	n := len(m.c.Gates)
+	m.cc0 = make([]int, n)
+	m.cc1 = make([]int, n)
+	for _, id := range m.c.Sources() {
+		m.cc0[id], m.cc1[id] = 1, 1
+	}
+	for _, id := range m.c.Topo() {
+		g := &m.c.Gates[id]
+		switch g.Kind {
+		case circuit.Buf:
+			m.cc0[id] = m.cc0[g.Fanin[0]] + 1
+			m.cc1[id] = m.cc1[g.Fanin[0]] + 1
+		case circuit.Not:
+			m.cc0[id] = m.cc1[g.Fanin[0]] + 1
+			m.cc1[id] = m.cc0[g.Fanin[0]] + 1
+		case circuit.And, circuit.Nand:
+			sum1, min0 := 1, int(1e9)
+			for _, f := range g.Fanin {
+				sum1 += m.cc1[f]
+				if m.cc0[f] < min0 {
+					min0 = m.cc0[f]
+				}
+			}
+			if g.Kind == circuit.And {
+				m.cc1[id], m.cc0[id] = sum1, min0+1
+			} else {
+				m.cc0[id], m.cc1[id] = sum1, min0+1
+			}
+		case circuit.Or, circuit.Nor:
+			sum0, min1 := 1, int(1e9)
+			for _, f := range g.Fanin {
+				sum0 += m.cc0[f]
+				if m.cc1[f] < min1 {
+					min1 = m.cc1[f]
+				}
+			}
+			if g.Kind == circuit.Or {
+				m.cc0[id], m.cc1[id] = sum0, min1+1
+			} else {
+				m.cc1[id], m.cc0[id] = sum0, min1+1
+			}
+		default: // Xor, Xnor: rough symmetric estimate
+			sum := 1
+			for _, f := range g.Fanin {
+				if m.cc0[f] < m.cc1[f] {
+					sum += m.cc0[f]
+				} else {
+					sum += m.cc1[f]
+				}
+			}
+			m.cc0[id], m.cc1[id] = sum, sum
+		}
+	}
+	m.obsDepth = make([]int, n)
+	for i := range m.obsDepth {
+		m.obsDepth[i] = -1
+	}
+	topo := m.c.Topo()
+	for id := range m.c.Gates {
+		if m.tapGate[id] {
+			m.obsDepth[id] = 0
+		}
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		best := m.obsDepth[id]
+		for _, fo := range m.c.Gates[id].Fanout {
+			if m.c.Gates[fo].Kind == circuit.DFF {
+				continue
+			}
+			if d := m.obsDepth[fo]; d >= 0 && (best < 0 || d+1 < best) {
+				best = d + 1
+			}
+		}
+		m.obsDepth[id] = best
+	}
+}
+
+// cost returns the controllability cost of setting net to v.
+func (m *machine) cost(net int, v value) int {
+	if v == v0 {
+		return m.cc0[net]
+	}
+	return m.cc1[net]
+}
+
+// siteNet returns the gate whose output signal is the fault site (the
+// driving net for pin faults).
+func (m *machine) siteNet() int {
+	if m.flt.Pin < 0 {
+		return m.flt.Gate
+	}
+	return m.c.Gates[m.flt.Gate].Fanin[m.flt.Pin]
+}
+
+// evalAt recomputes good and bad for one combinational gate from its
+// current fanin values, honouring the fault forcing.
+func (m *machine) evalAt(id int, gin, bin []value) {
+	g := &m.c.Gates[id]
+	gin, bin = gin[:0], bin[:0]
+	for _, f := range g.Fanin {
+		gin = append(gin, m.good[f])
+		bin = append(bin, m.bad[f])
+	}
+	m.good[id] = eval3(g.Kind, gin)
+	if id == m.flt.Gate {
+		if m.flt.Pin < 0 {
+			m.bad[id] = m.stuck
+			return
+		}
+		bin[m.flt.Pin] = m.stuck
+	}
+	m.bad[id] = eval3(g.Kind, bin)
+}
+
+// imply evaluates both machines from the current source assignment.
+func (m *machine) imply() {
+	for i, id := range m.c.Sources() {
+		m.good[id] = m.assign[i]
+		m.bad[id] = m.assign[i]
+	}
+	gin := make([]value, 0, 8)
+	bin := make([]value, 0, 8)
+	for _, id := range m.c.Topo() {
+		m.evalAt(id, gin, bin)
+	}
+}
+
+// implySrc incrementally re-evaluates the fanout cone of one changed
+// source — the per-decision cost of the PODEM loop. The sweep is
+// event-driven: a cone gate is re-evaluated only when one of its fanins
+// actually changed, and marks itself changed only when its own output
+// moved, so implication cost tracks the actually affected region rather than the
+// structural cone.
+func (m *machine) implySrc(srcIdx int) {
+	srcGate := m.c.Sources()[srcIdx]
+	nv := m.assign[srcIdx]
+	if m.good[srcGate] == nv && m.bad[srcGate] == nv {
+		return
+	}
+	m.curVer++
+	m.good[srcGate] = nv
+	m.bad[srcGate] = nv
+	m.dirtyVer[srcGate] = m.curVer
+	gin := make([]value, 0, 8)
+	bin := make([]value, 0, 8)
+	for _, id := range m.c.FanoutCone(srcGate) {
+		touched := false
+		for _, f := range m.c.Gates[id].Fanin {
+			if m.dirtyVer[f] == m.curVer {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		og, ob := m.good[id], m.bad[id]
+		m.evalAt(id, gin, bin)
+		if m.good[id] != og || m.bad[id] != ob {
+			m.dirtyVer[id] = m.curVer
+		}
+	}
+}
+
+// effect reports whether net s carries a defined fault effect.
+func (m *machine) effect(s int) bool {
+	return m.good[s] != vX && m.bad[s] != vX && m.good[s] != m.bad[s]
+}
+
+// detected reports whether any observation point carries the fault effect.
+// Only taps inside the site cone can.
+func (m *machine) detected() bool {
+	for _, tg := range m.siteTaps {
+		if m.effect(tg) {
+			return true
+		}
+	}
+	return false
+}
+
+// activated reports whether the fault site currently launches an effect:
+// the good value is defined and differs from the stuck value.
+func (m *machine) activated() bool {
+	s := m.siteNet()
+	return m.good[s] != vX && m.good[s] != m.stuck
+}
+
+// activationConflict reports whether activation is impossible under the
+// current assignment (site value defined and equal to the stuck value).
+func (m *machine) activationConflict() bool {
+	s := m.siteNet()
+	return m.good[s] != vX && m.good[s] == m.stuck
+}
+
+// dFrontier returns the gates through which the fault effect can still
+// advance: some fanin carries the effect (or, for a pin fault, the fault
+// gate itself is activated) and the gate output is not yet fully defined
+// in both machines. The result is sorted by distance to the nearest
+// observation point, closest first.
+func (m *machine) dFrontier() []int {
+	var out []int
+	for _, id := range m.siteCone {
+		g := &m.c.Gates[id]
+		if m.good[id] != vX && m.bad[id] != vX {
+			continue
+		}
+		if id == m.flt.Gate && m.flt.Pin >= 0 && m.activated() {
+			// The effect originates inside the fault gate: the forced pin
+			// differs from its good value.
+			out = append(out, id)
+			continue
+		}
+		for _, f := range g.Fanin {
+			if m.effect(f) {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := m.obsDepth[out[i]], m.obsDepth[out[j]]
+		if di < 0 {
+			di = 1 << 30
+		}
+		if dj < 0 {
+			dj = 1 << 30
+		}
+		return di < dj
+	})
+	return out
+}
+
+// xPathExists reports whether some frontier gate still has a path of
+// not-fully-defined gates to an observation point — the PODEM X-path
+// check that prunes dead search branches early.
+func (m *machine) xPathExists(frontier []int) bool {
+	allowed := func(id int) bool { return m.good[id] == vX || m.bad[id] == vX }
+	seen := map[int]bool{}
+	var stack []int
+	for _, gd := range frontier {
+		if !seen[gd] && allowed(gd) {
+			seen[gd] = true
+			stack = append(stack, gd)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if m.tapGate[id] {
+			return true
+		}
+		for _, fo := range m.c.Gates[id].Fanout {
+			if m.c.Gates[fo].Kind == circuit.DFF {
+				// The D pin itself is the observation point.
+				return true
+			}
+			if !seen[fo] && allowed(fo) {
+				seen[fo] = true
+				stack = append(stack, fo)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,218 @@
+package atpg
+
+import (
+	"math/rand"
+
+	"fastmon/internal/circuit"
+	"fastmon/internal/fault"
+)
+
+// podemResult is the outcome of one PODEM run.
+type podemResult uint8
+
+const (
+	testFound podemResult = iota
+	untestable
+	aborted
+)
+
+type decision struct {
+	src     int // source index
+	val     value
+	flipped bool
+}
+
+// objective returns the next (net, value) objective: activate the fault if
+// the site is still X, otherwise advance the D-frontier. ok=false means no
+// objective exists (dead branch). The frontier is pre-sorted closest to an
+// observation point first.
+func (m *machine) objective(frontier []int) (net int, val value, ok bool) {
+	s := m.siteNet()
+	if m.good[s] == vX {
+		return s, m.stuck.not(), true
+	}
+	for _, gd := range frontier {
+		g := &m.c.Gates[gd]
+		ctl, hasCtl := controlling(g.Kind)
+		best, bestCost := -1, 0
+		want := v0
+		if hasCtl {
+			want = ctl.not()
+		}
+		for p, f := range g.Fanin {
+			if gd == m.flt.Gate && m.flt.Pin == p {
+				continue // the faulty pin itself cannot be justified
+			}
+			if m.good[f] != vX {
+				continue
+			}
+			// Prefer the cheapest input to set non-controlling.
+			if c := m.cost(f, want); best < 0 || c < bestCost {
+				best, bestCost = f, c
+			}
+		}
+		if best >= 0 {
+			return best, want, true
+		}
+	}
+	return 0, vX, false
+}
+
+// backtrace maps an objective to a source assignment by walking backwards
+// through X-valued nets, choosing inputs by controllability cost: the
+// cheapest input when one controlling input suffices, the hardest when all
+// inputs must be non-controlling (fail-fast ordering).
+func (m *machine) backtrace(net int, val value) (srcIdx int, v value, ok bool) {
+	for {
+		g := &m.c.Gates[net]
+		if g.Kind == circuit.Input || g.Kind == circuit.DFF {
+			return m.srcIdx[net], val, true
+		}
+		if g.Kind.Inverting() {
+			val = val.not()
+		}
+		ctl, hasCtl := controlling(g.Kind)
+		pickEasiest := hasCtl && val == ctl
+		next, nextCost := -1, 0
+		for _, f := range g.Fanin {
+			if m.good[f] != vX {
+				continue
+			}
+			c := m.cost(f, val)
+			if next < 0 || (pickEasiest && c < nextCost) || (!pickEasiest && c > nextCost) {
+				next, nextCost = f, c
+			}
+		}
+		if next < 0 {
+			return 0, vX, false // no X path backwards: dead objective
+		}
+		net = next
+	}
+}
+
+// run executes the PODEM decision loop. On success the source assignment
+// (with X for don't-cares) is left in m.assign.
+func (m *machine) run(maxBacktracks int) podemResult {
+	var stack []decision
+	backtracks := 0
+	m.imply() // initial all-X evaluation; decisions update incrementally
+	for {
+		if m.detected() {
+			return testFound
+		}
+		fail := false
+		var frontier []int
+		if m.activationConflict() {
+			fail = true
+		} else if m.activated() {
+			frontier = m.dFrontier()
+			if len(frontier) == 0 || !m.xPathExists(frontier) {
+				fail = true
+			}
+		}
+		if !fail {
+			net, val, ok := m.objective(frontier)
+			if !ok {
+				fail = true
+			} else if src, v, ok2 := m.backtrace(net, val); !ok2 {
+				fail = true
+			} else {
+				stack = append(stack, decision{src: src, val: v})
+				m.assign[src] = v
+				m.implySrc(src)
+				continue
+			}
+		}
+		// Backtrack: flip the most recent unflipped decision.
+		for {
+			if len(stack) == 0 {
+				return untestable
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				top.val = top.val.not()
+				m.assign[top.src] = top.val
+				m.implySrc(top.src)
+				backtracks++
+				if backtracks > maxBacktracks {
+					return aborted
+				}
+				break
+			}
+			m.assign[top.src] = vX
+			m.implySrc(top.src)
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// justify searches for a source assignment that sets the given net to the
+// target value (used to build the initialization vector V1). It runs the
+// same decision engine with a trivial fault so that the good machine is
+// authoritative.
+func justify(c *circuit.Circuit, net int, target value, maxBacktracks int) ([]value, podemResult) {
+	return justifyWith(newAnalysis(c), net, target, maxBacktracks)
+}
+
+// justifyWith is justify reusing a shared circuit analysis.
+func justifyWith(an *analysis, net int, target value, maxBacktracks int) ([]value, podemResult) {
+	// A justification is a PODEM run whose success condition is simply
+	// "net == target": emulate with a dedicated loop.
+	m := newMachineWith(an, fault.Fault{Gate: net, Pin: -1}, target.not())
+	var stack []decision
+	backtracks := 0
+	m.imply()
+	for {
+		if m.good[net] == target {
+			return m.assign, testFound
+		}
+		fail := m.good[net] != vX // defined but wrong
+		if !fail {
+			if src, v, ok := m.backtrace(net, target); ok {
+				stack = append(stack, decision{src: src, val: v})
+				m.assign[src] = v
+				m.implySrc(src)
+				continue
+			}
+			fail = true
+		}
+		_ = fail
+		for {
+			if len(stack) == 0 {
+				return nil, untestable
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				top.val = top.val.not()
+				m.assign[top.src] = top.val
+				m.implySrc(top.src)
+				backtracks++
+				if backtracks > maxBacktracks {
+					return nil, aborted
+				}
+				break
+			}
+			m.assign[top.src] = vX
+			m.implySrc(top.src)
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// fill replaces X entries of an assignment with random values.
+func fill(assign []value, rng *rand.Rand) []bool {
+	out := make([]bool, len(assign))
+	for i, v := range assign {
+		switch v {
+		case v1:
+			out[i] = true
+		case v0:
+			out[i] = false
+		default:
+			out[i] = rng.Intn(2) == 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package bist models logic built-in self-test — the on-chip alternative
+// evaluation infrastructure the paper's related work targets (FAST-BIST
+// [16]): an LFSR-based pseudo-random pattern generator feeds the scan
+// chains and a MISR compacts the responses into a signature. The package
+// exists as the comparison baseline: monitor-based evaluation (the
+// paper's approach) needs neither the signature golden-reference problem
+// nor X-tolerant compaction.
+package bist
+
+import (
+	"fmt"
+
+	"fastmon/internal/circuit"
+	"fastmon/internal/fault"
+	"fastmon/internal/logic"
+	"fastmon/internal/misr"
+	"fastmon/internal/sim"
+)
+
+// LFSR is a Galois linear-feedback shift register used as the
+// pseudo-random pattern generator (PRPG).
+type LFSR struct {
+	state uint64
+	poly  uint64
+	width uint
+}
+
+// NewLFSR returns a PRPG with the given width (4..64) and a non-zero seed
+// (a zero seed locks the register and is rejected).
+func NewLFSR(width uint, seed uint64) (*LFSR, error) {
+	if width < 4 || width > 64 {
+		return nil, fmt.Errorf("bist: LFSR width %d out of range 4..64", width)
+	}
+	mask := uint64(1)<<width - 1
+	if width == 64 {
+		mask = ^uint64(0)
+	}
+	seed &= mask
+	if seed == 0 {
+		return nil, fmt.Errorf("bist: LFSR seed must be non-zero")
+	}
+	return &LFSR{state: seed, poly: misr.Primitive(width), width: width}, nil
+}
+
+// Bit advances the register one step and returns the output bit.
+func (l *LFSR) Bit() bool {
+	out := l.state & 1
+	l.state >>= 1
+	if out == 1 {
+		l.state ^= l.poly
+	}
+	if l.state == 0 {
+		l.state = 1 // defensive: never lock up
+	}
+	return out == 1
+}
+
+// Fill produces n pseudo-random bits.
+func (l *LFSR) Fill(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = l.Bit()
+	}
+	return out
+}
+
+// Session is one self-test run: pattern generation, fault-coverage
+// tracking and response compaction.
+type Session struct {
+	C        *circuit.Circuit
+	Faults   []fault.Fault
+	Patterns []sim.Pattern
+	// Signature is the MISR state after compacting every capture
+	// response (POs and PPOs bit-packed per pattern).
+	Signature uint64
+	// Curve[i] is the cumulative transition-fault coverage after
+	// (i+1)·step patterns.
+	Curve []float64
+	Step  int
+}
+
+// Run executes a BIST session: nPatterns pseudo-random pattern pairs from
+// the LFSR, transition-fault coverage measured with the parallel-pattern
+// simulator every `step` patterns, responses compacted into a 32-bit MISR
+// signature.
+func Run(c *circuit.Circuit, faults []fault.Fault, nPatterns, step int, seed uint64) (*Session, error) {
+	if nPatterns <= 0 {
+		return nil, fmt.Errorf("bist: need at least one pattern")
+	}
+	if step <= 0 {
+		step = 64
+	}
+	l, err := NewLFSR(32, seed)
+	if err != nil {
+		return nil, err
+	}
+	nsrc := len(c.Sources())
+	patterns := make([]sim.Pattern, nPatterns)
+	for i := range patterns {
+		patterns[i] = sim.Pattern{V1: l.Fill(nsrc), V2: l.Fill(nsrc)}
+	}
+
+	s := &Session{C: c, Faults: faults, Patterns: patterns, Step: step}
+	m, err := misr.New(32, misr.Primitive(32))
+	if err != nil {
+		return nil, err
+	}
+	taps := c.Taps()
+	detected := make([]bool, len(faults))
+	nDet := 0
+	sinceCurve := 0
+	for start := 0; start < nPatterns; start += 64 {
+		b := logic.NewBatch(c, patterns, start)
+		// Compact the capture responses of the block, pattern by pattern:
+		// one MISR shift per pattern, the taps bit-packed into the input
+		// word (wider designs fold over 32 bits).
+		for k := 0; k < b.N; k++ {
+			var word uint64
+			for ti, tap := range taps {
+				if b.V2[tap.Gate]>>uint(k)&1 == 1 {
+					word ^= 1 << uint(ti%32)
+				}
+			}
+			m.Shift(word)
+		}
+		for fi := range faults {
+			if detected[fi] {
+				continue
+			}
+			if b.DetectTransition(faults[fi]) != 0 {
+				detected[fi] = true
+				nDet++
+			}
+		}
+		sinceCurve += b.N
+		for sinceCurve >= step {
+			s.Curve = append(s.Curve, float64(nDet)/float64(len(faults)))
+			sinceCurve -= step
+		}
+	}
+	if len(s.Curve) == 0 || sinceCurve > 0 {
+		s.Curve = append(s.Curve, float64(nDet)/float64(len(faults)))
+	}
+	s.Signature = m.Signature()
+	return s, nil
+}
+
+// Coverage returns the final transition-fault coverage of the session.
+func (s *Session) Coverage() float64 {
+	if len(s.Curve) == 0 {
+		return 0
+	}
+	return s.Curve[len(s.Curve)-1]
+}
+
+// SignatureOf recomputes the golden signature for a (possibly different)
+// annotated response behaviour — used to check that a faulty device's
+// signature diverges. The responses argument packs per-pattern tap words.
+func SignatureOf(responses []uint64) uint64 {
+	m, _ := misr.New(32, misr.Primitive(32))
+	return m.Compact(responses)
+}
+
+// PatternEfficiency summarizes the diminishing returns of pseudo-random
+// BIST: the number of patterns needed to reach the given coverage, or -1
+// if the session never reached it. Multiply by the scan-chain length for
+// test time — the comparison point against the deterministic compacted
+// sets the scheduler consumes.
+func (s *Session) PatternEfficiency(target float64) int {
+	for i, cov := range s.Curve {
+		if cov >= target {
+			return (i + 1) * s.Step
+		}
+	}
+	return -1
+}
+
+// popcountCurve is a small helper for tests: total detected faults.
+func (s *Session) detectedCount() int {
+	if len(s.Curve) == 0 {
+		return 0
+	}
+	return int(s.Coverage()*float64(len(s.Faults)) + 0.5)
+}

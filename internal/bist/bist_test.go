@@ -1,0 +1,139 @@
+package bist
+
+import (
+	"testing"
+
+	"fastmon/internal/circuit"
+	"fastmon/internal/fault"
+)
+
+func TestNewLFSRValidation(t *testing.T) {
+	if _, err := NewLFSR(2, 1); err == nil {
+		t.Fatal("width 2 accepted")
+	}
+	if _, err := NewLFSR(65, 1); err == nil {
+		t.Fatal("width 65 accepted")
+	}
+	if _, err := NewLFSR(16, 0); err == nil {
+		t.Fatal("zero seed accepted")
+	}
+	l, err := NewLFSR(16, 0xACE1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l == nil {
+		t.Fatal("nil LFSR")
+	}
+}
+
+func TestLFSRProperties(t *testing.T) {
+	l, _ := NewLFSR(16, 1)
+	bits := l.Fill(4096)
+	ones := 0
+	for _, b := range bits {
+		if b {
+			ones++
+		}
+	}
+	// Pseudo-random balance: roughly half ones.
+	if ones < 1600 || ones > 2500 {
+		t.Fatalf("LFSR bias: %d ones of 4096", ones)
+	}
+	// Determinism.
+	l2, _ := NewLFSR(16, 1)
+	bits2 := l2.Fill(4096)
+	for i := range bits {
+		if bits[i] != bits2[i] {
+			t.Fatal("LFSR not deterministic")
+		}
+	}
+	// Different seeds diverge.
+	l3, _ := NewLFSR(16, 2)
+	same := 0
+	for i, b := range l3.Fill(4096) {
+		if b == bits[i] {
+			same++
+		}
+	}
+	if same > 2500 {
+		t.Fatalf("seeds too correlated: %d of 4096 equal", same)
+	}
+}
+
+func TestRunSession(t *testing.T) {
+	c := circuit.MustGenerate(circuit.GenSpec{
+		Name: "bist", Gates: 200, FFs: 20, Inputs: 10, Outputs: 8, Depth: 10, Seed: 13,
+	})
+	faults := fault.Universe(c)
+	s, err := Run(c, faults, 512, 64, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Patterns) != 512 {
+		t.Fatalf("patterns = %d", len(s.Patterns))
+	}
+	if s.Signature == 0 {
+		t.Fatal("zero signature is astronomically unlikely")
+	}
+	// Coverage is monotone and substantial for random-pattern-testable
+	// logic.
+	for i := 1; i < len(s.Curve); i++ {
+		if s.Curve[i] < s.Curve[i-1] {
+			t.Fatal("coverage curve not monotone")
+		}
+	}
+	if s.Coverage() < 0.5 {
+		t.Fatalf("final coverage = %f too low", s.Coverage())
+	}
+	if s.detectedCount() <= 0 {
+		t.Fatal("no faults detected")
+	}
+	// Efficiency: reaching half the final coverage must need fewer
+	// patterns than the whole session.
+	half := s.PatternEfficiency(s.Coverage() / 2)
+	if half <= 0 || half > 512 {
+		t.Fatalf("PatternEfficiency = %d", half)
+	}
+	if s.PatternEfficiency(1.01) != -1 {
+		t.Fatal("impossible target must return -1")
+	}
+	// Determinism of the signature.
+	s2, err := Run(c, faults, 512, 64, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Signature != s.Signature {
+		t.Fatal("signature not deterministic")
+	}
+	// A different seed produces a different signature.
+	s3, _ := Run(c, faults, 512, 64, 0xF00D)
+	if s3.Signature == s.Signature {
+		t.Fatal("independent sessions collided")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	if _, err := Run(c, fault.Universe(c), 0, 64, 1); err == nil {
+		t.Fatal("zero patterns accepted")
+	}
+	if _, err := Run(c, fault.Universe(c), 10, 64, 0); err == nil {
+		t.Fatal("zero seed accepted")
+	}
+	// Default step kicks in for step <= 0.
+	s, err := Run(c, fault.Universe(c), 10, 0, 1)
+	if err != nil || len(s.Curve) == 0 {
+		t.Fatalf("default step broken: %v", err)
+	}
+}
+
+func TestSignatureOf(t *testing.T) {
+	a := []uint64{1, 2, 3}
+	if SignatureOf(a) != SignatureOf(a) {
+		t.Fatal("not deterministic")
+	}
+	b := []uint64{1, 2, 4}
+	if SignatureOf(a) == SignatureOf(b) {
+		t.Fatal("single-bit difference aliased")
+	}
+}

@@ -1,0 +1,145 @@
+// Package bitset provides a dense bit set used for fault sets throughout
+// the scheduling pipeline: observation-time discretization, set-covering
+// presolve and the branch-and-bound solver all manipulate sets of fault
+// indices that routinely hold tens of thousands of members.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. The zero value is unusable; create
+// sets with New.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty set with capacity n bits.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts bit i.
+func (s *Set) Add(i int) { s.words[i>>6] |= 1 << uint(i&63) }
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) { s.words[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether bit i is set.
+func (s *Set) Has(i int) bool { return s.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	return &Set{words: append([]uint64(nil), s.words...), n: s.n}
+}
+
+// Or sets s = s ∪ o.
+func (s *Set) Or(o *Set) {
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// And sets s = s ∩ o.
+func (s *Set) And(o *Set) {
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// AndNot sets s = s \ o.
+func (s *Set) AndNot(o *Set) {
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// IntersectionCount returns |s ∩ o| without allocating.
+func (s *Set) IntersectionCount(o *Set) int {
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return c
+}
+
+// SubsetOf reports whether s ⊆ o.
+func (s *Set) SubsetOf(o *Set) bool {
+	for i := range s.words {
+		if s.words[i]&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Members appends all set bit indices to dst and returns it.
+func (s *Set) Members(dst []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// NextSet returns the first set bit index ≥ i, or -1.
+func (s *Set) NextSet(i int) int {
+	if i >= s.n {
+		return -1
+	}
+	wi := i >> 6
+	w := s.words[wi] >> uint(i&63)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*64 + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// Clear removes all bits.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}

@@ -1,0 +1,166 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(200)
+	if !s.Empty() || s.Count() != 0 || s.Len() != 200 {
+		t.Fatal("new set not empty")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(199)
+	if s.Count() != 4 || s.Empty() {
+		t.Fatalf("count = %d", s.Count())
+	}
+	for _, i := range []int{0, 63, 64, 199} {
+		if !s.Has(i) {
+			t.Fatalf("missing bit %d", i)
+		}
+	}
+	if s.Has(1) || s.Has(65) {
+		t.Fatal("spurious bit")
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Count() != 3 {
+		t.Fatal("remove failed")
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Add(1)
+	a.Add(2)
+	a.Add(100)
+	b.Add(2)
+	b.Add(100)
+	b.Add(101)
+
+	u := a.Clone()
+	u.Or(b)
+	if u.Count() != 4 {
+		t.Fatalf("or count = %d", u.Count())
+	}
+	x := a.Clone()
+	x.And(b)
+	if x.Count() != 2 || !x.Has(2) || !x.Has(100) {
+		t.Fatalf("and wrong")
+	}
+	d := a.Clone()
+	d.AndNot(b)
+	if d.Count() != 1 || !d.Has(1) {
+		t.Fatal("andnot wrong")
+	}
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Fatalf("intersection count = %d", got)
+	}
+	if !x.SubsetOf(a) || !x.SubsetOf(b) || a.SubsetOf(b) {
+		t.Fatal("subset wrong")
+	}
+	if !a.Equal(a.Clone()) || a.Equal(b) {
+		t.Fatal("equal wrong")
+	}
+	if a.Equal(New(64)) {
+		t.Fatal("different capacity must not be equal")
+	}
+}
+
+func TestMembersAndNextSet(t *testing.T) {
+	s := New(300)
+	want := []int{3, 64, 65, 192, 299}
+	for _, i := range want {
+		s.Add(i)
+	}
+	got := s.Members(nil)
+	if len(got) != len(want) {
+		t.Fatalf("members = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("members = %v, want %v", got, want)
+		}
+	}
+	if s.NextSet(0) != 3 || s.NextSet(3) != 3 || s.NextSet(4) != 64 ||
+		s.NextSet(66) != 192 || s.NextSet(293) != 299 || s.NextSet(300) != -1 {
+		t.Fatal("NextSet wrong")
+	}
+	empty := New(100)
+	if empty.NextSet(0) != -1 {
+		t.Fatal("NextSet on empty must be -1")
+	}
+}
+
+func TestPropAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		n := 1 + r.Intn(500)
+		s := New(n)
+		ref := map[int]bool{}
+		for op := 0; op < 100; op++ {
+			i := r.Intn(n)
+			switch r.Intn(3) {
+			case 0:
+				s.Add(i)
+				ref[i] = true
+			case 1:
+				s.Remove(i)
+				delete(ref, i)
+			case 2:
+				if s.Has(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for _, m := range s.Members(nil) {
+			if !ref[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDeMorgan(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		n := 64 + r.Intn(200)
+		a, b := New(n), New(n)
+		for i := 0; i < n/3; i++ {
+			a.Add(r.Intn(n))
+			b.Add(r.Intn(n))
+		}
+		// |a∪b| = |a| + |b| - |a∩b|
+		u := a.Clone()
+		u.Or(b)
+		if u.Count() != a.Count()+b.Count()-a.IntersectionCount(b) {
+			return false
+		}
+		// a\b and a∩b partition a.
+		d := a.Clone()
+		d.AndNot(b)
+		x := a.Clone()
+		x.And(b)
+		if d.IntersectionCount(x) != 0 || d.Count()+x.Count() != a.Count() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package cell models a 45nm-class standard-cell library: pin-to-pin
+// rise/fall propagation delays with fanout-load dependence, plus the
+// process-variation model the paper's fault size is defined against
+// (σ = 20 % of the nominal gate delay, δ = 6σ).
+//
+// The library substitutes the NanGate 45nm Open Cell Library used in the
+// paper's synthesis flow; only the delay magnitudes matter to the
+// detection-range analysis, not the exact cell footprints.
+package cell
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fastmon/internal/circuit"
+	"fastmon/internal/tunit"
+)
+
+// Edge holds the propagation delay of an input-to-output path for a rising
+// and a falling *output* transition.
+type Edge struct {
+	Rise, Fall tunit.Time
+}
+
+// Scale returns the edge delays multiplied by f.
+func (e Edge) Scale(f float64) Edge {
+	return Edge{Rise: e.Rise.Scale(f), Fall: e.Fall.Scale(f)}
+}
+
+// Max returns the larger of the two edge delays.
+func (e Edge) Max() tunit.Time { return tunit.Max(e.Rise, e.Fall) }
+
+// Min returns the smaller of the two edge delays.
+func (e Edge) Min() tunit.Time { return tunit.Min(e.Rise, e.Fall) }
+
+func (e Edge) String() string { return fmt.Sprintf("(r %s, f %s)", e.Rise, e.Fall) }
+
+// Library describes cell timing. Delays are computed as
+//
+//	d(pin) = Base[kind] + PinStep·pin + LoadStep·(fanout-1)
+//
+// with a small rise/fall asymmetry. This linear model reproduces the delay
+// spread of a synthesized 45nm netlist well enough for FAST analysis.
+type Library struct {
+	Name string
+	// Base delay per gate kind (output rising), picoseconds.
+	Base map[circuit.Kind]tunit.Time
+	// FallSkew multiplies the base delay for falling outputs.
+	FallSkew float64
+	// PinStep is the extra delay per later input pin (input ordering).
+	PinStep tunit.Time
+	// LoadStep is the extra delay per additional fanout branch.
+	LoadStep tunit.Time
+	// ClkToQ is the flip-flop clock-to-output delay.
+	ClkToQ tunit.Time
+	// Setup is the flip-flop setup time.
+	Setup tunit.Time
+	// SigmaFraction is the process-variation standard deviation as a
+	// fraction of the nominal gate delay (0.20 in the paper).
+	SigmaFraction float64
+}
+
+// NanGate45 returns the default 45nm-class library. Magnitudes follow
+// typical NanGate 45nm cells at nominal corner (inverter ≈ 15 ps, NAND2 ≈
+// 25 ps, XOR2 ≈ 55 ps).
+func NanGate45() *Library {
+	return &Library{
+		Name: "nangate45-like",
+		Base: map[circuit.Kind]tunit.Time{
+			circuit.Buf:  20,
+			circuit.Not:  15,
+			circuit.And:  35,
+			circuit.Nand: 25,
+			circuit.Or:   38,
+			circuit.Nor:  28,
+			circuit.Xor:  55,
+			circuit.Xnor: 58,
+		},
+		FallSkew:      0.9,
+		PinStep:       4,
+		LoadStep:      6,
+		ClkToQ:        40,
+		Setup:         30,
+		SigmaFraction: 0.20,
+	}
+}
+
+// Reference returns the "nominal gate delay" the variation model is
+// defined against — the NAND2 base delay, the standard reference cell.
+func (l *Library) Reference() tunit.Time { return l.Base[circuit.Nand] }
+
+// Sigma returns the process-variation standard deviation σ.
+func (l *Library) Sigma() tunit.Time {
+	return l.Reference().Scale(l.SigmaFraction)
+}
+
+// FaultSize returns the paper's small-delay fault size δ = 6σ, used to
+// model degraded or marginal devices.
+func (l *Library) FaultSize() tunit.Time { return 6 * l.Sigma() }
+
+// NominalDelay returns the nominal pin-to-pin delay for the given gate
+// kind, input pin index and fanout count.
+func (l *Library) NominalDelay(kind circuit.Kind, pin, fanout int) Edge {
+	base, ok := l.Base[kind]
+	if !ok {
+		base = l.Base[circuit.Nand]
+	}
+	load := fanout - 1
+	if load < 0 {
+		load = 0
+	}
+	rise := base + l.PinStep*tunit.Time(pin) + l.LoadStep*tunit.Time(load)
+	fall := rise.Scale(l.FallSkew)
+	if fall < 1 {
+		fall = 1
+	}
+	return Edge{Rise: rise, Fall: fall}
+}
+
+// Annotation holds the pin-to-pin delays of every gate of one circuit —
+// the in-memory equivalent of an SDF file. Delay[g][p] is the IOPATH delay
+// from input pin p of gate g to the gate output.
+type Annotation struct {
+	Lib   *Library
+	Delay [][]Edge
+}
+
+// Annotate computes the nominal delay annotation for the circuit.
+func Annotate(c *circuit.Circuit, lib *Library) *Annotation {
+	a := &Annotation{Lib: lib, Delay: make([][]Edge, len(c.Gates))}
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		if g.Kind == circuit.Input || g.Kind == circuit.DFF {
+			continue
+		}
+		pins := make([]Edge, len(g.Fanin))
+		for p := range g.Fanin {
+			pins[p] = lib.NominalDelay(g.Kind, p, len(g.Fanout))
+		}
+		a.Delay[id] = pins
+	}
+	return a
+}
+
+// WithVariation returns a copy of the annotation with every pin delay
+// multiplied by an independent Gaussian factor N(1, σfrac), truncated to
+// [1-3σfrac, 1+3σfrac] and floored at 1 ps. The same seed reproduces the
+// same corner.
+func (a *Annotation) WithVariation(sigmaFrac float64, seed int64) *Annotation {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Annotation{Lib: a.Lib, Delay: make([][]Edge, len(a.Delay))}
+	lim := 3 * sigmaFrac
+	for g, pins := range a.Delay {
+		if pins == nil {
+			continue
+		}
+		np := make([]Edge, len(pins))
+		for p, e := range pins {
+			f := 1 + math.Max(-lim, math.Min(lim, rng.NormFloat64()*sigmaFrac))
+			np[p] = e.Scale(f)
+			if np[p].Rise < 1 {
+				np[p].Rise = 1
+			}
+			if np[p].Fall < 1 {
+				np[p].Fall = 1
+			}
+		}
+		out.Delay[g] = np
+	}
+	return out
+}
+
+// PinDelay returns the annotated delay for gate g, input pin p.
+func (a *Annotation) PinDelay(g, p int) Edge { return a.Delay[g][p] }
+
+// MaxDelay returns the largest pin delay of gate g (0 if g has none).
+func (a *Annotation) MaxDelay(g int) tunit.Time {
+	var m tunit.Time
+	for _, e := range a.Delay[g] {
+		if e.Max() > m {
+			m = e.Max()
+		}
+	}
+	return m
+}
+
+// MinPulse returns the inertial pulse-filtering threshold used by the
+// timing simulator: pulses shorter than this are absorbed by the cell and
+// never propagate. Half the inverter delay is the usual rule of thumb.
+func (l *Library) MinPulse() tunit.Time {
+	return l.Base[circuit.Not] / 2
+}

@@ -1,0 +1,152 @@
+package cell
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastmon/internal/circuit"
+	"fastmon/internal/tunit"
+)
+
+func TestNanGate45Defaults(t *testing.T) {
+	lib := NanGate45()
+	if lib.Reference() != 25 {
+		t.Fatalf("Reference = %d, want 25 (NAND2)", lib.Reference())
+	}
+	if lib.Sigma() != 5 {
+		t.Fatalf("Sigma = %d, want 5 (20%% of 25ps)", lib.Sigma())
+	}
+	if lib.FaultSize() != 30 {
+		t.Fatalf("FaultSize = %d, want 30 (6σ)", lib.FaultSize())
+	}
+	if lib.MinPulse() <= 0 {
+		t.Fatal("MinPulse must be positive")
+	}
+	for k := circuit.Buf; k < circuit.DFF; k++ {
+		if _, ok := lib.Base[k]; !ok {
+			t.Errorf("library missing base delay for %v", k)
+		}
+	}
+}
+
+func TestNominalDelayMonotone(t *testing.T) {
+	lib := NanGate45()
+	d0 := lib.NominalDelay(circuit.Nand, 0, 1)
+	d1 := lib.NominalDelay(circuit.Nand, 1, 1)
+	if d1.Rise <= d0.Rise {
+		t.Fatal("later pins must be slower")
+	}
+	l1 := lib.NominalDelay(circuit.Nand, 0, 1)
+	l4 := lib.NominalDelay(circuit.Nand, 0, 4)
+	if l4.Rise <= l1.Rise {
+		t.Fatal("higher load must be slower")
+	}
+	if d0.Fall >= d0.Rise {
+		t.Fatal("fall skew < 1 must make falling faster")
+	}
+	if lib.NominalDelay(circuit.Nand, 0, 0).Rise != l1.Rise {
+		t.Fatal("zero fanout must not reduce delay below base")
+	}
+}
+
+func TestNominalDelayUnknownKind(t *testing.T) {
+	lib := NanGate45()
+	// DFF has no combinational delay entry: falls back to NAND base.
+	d := lib.NominalDelay(circuit.DFF, 0, 1)
+	if d.Rise != lib.Base[circuit.Nand] {
+		t.Fatalf("fallback delay = %v", d)
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	lib := NanGate45()
+	a := Annotate(c, lib)
+	if len(a.Delay) != len(c.Gates) {
+		t.Fatalf("annotation size mismatch")
+	}
+	for id, g := range c.Gates {
+		switch g.Kind {
+		case circuit.Input, circuit.DFF:
+			if a.Delay[id] != nil {
+				t.Fatalf("source gate %s has delays", g.Name)
+			}
+		default:
+			if len(a.Delay[id]) != len(g.Fanin) {
+				t.Fatalf("gate %s: %d delays for %d pins", g.Name, len(a.Delay[id]), len(g.Fanin))
+			}
+			for p := range g.Fanin {
+				if a.PinDelay(id, p).Rise <= 0 || a.PinDelay(id, p).Fall <= 0 {
+					t.Fatalf("gate %s pin %d has non-positive delay", g.Name, p)
+				}
+			}
+		}
+	}
+	g9, _ := c.GateID("G9")
+	if a.MaxDelay(g9) <= 0 {
+		t.Fatal("MaxDelay must be positive for a NAND")
+	}
+}
+
+func TestWithVariationDeterministic(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	a := Annotate(c, NanGate45())
+	v1 := a.WithVariation(0.2, 42)
+	v2 := a.WithVariation(0.2, 42)
+	v3 := a.WithVariation(0.2, 43)
+	differs := false
+	for g := range v1.Delay {
+		for p := range v1.Delay[g] {
+			if v1.Delay[g][p] != v2.Delay[g][p] {
+				t.Fatal("same seed produced different variation")
+			}
+			if v1.Delay[g][p] != v3.Delay[g][p] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical variation")
+	}
+}
+
+func TestWithVariationBounds(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	a := Annotate(c, NanGate45())
+	f := func(seed int64) bool {
+		v := a.WithVariation(0.2, seed)
+		for g := range v.Delay {
+			for p := range v.Delay[g] {
+				nom, got := a.Delay[g][p], v.Delay[g][p]
+				// Truncated at ±3σ = ±60%.
+				if got.Rise < nom.Rise.Scale(0.39) || got.Rise > nom.Rise.Scale(1.61) {
+					return false
+				}
+				if got.Rise < 1 || got.Fall < 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeHelpers(t *testing.T) {
+	e := Edge{Rise: 30, Fall: 20}
+	if e.Max() != 30 || e.Min() != 20 {
+		t.Fatal("Max/Min wrong")
+	}
+	s := e.Scale(0.5)
+	if s.Rise != 15 || s.Fall != 10 {
+		t.Fatalf("Scale = %v", s)
+	}
+	if e.String() == "" {
+		t.Fatal("empty String")
+	}
+	if tunit.Time(0) != 0 { // keep tunit import honest
+		t.Fatal()
+	}
+}

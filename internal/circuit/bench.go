@@ -1,0 +1,218 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads an ISCAS'89-style .bench netlist:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = NAND(G0, G1)
+//	G5  = DFF(G10)
+//
+// Signals may be referenced before they are defined. The returned circuit
+// is finalized.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	c := New(name)
+	// Names are resolved in two passes: first collect declarations, then
+	// wire fanins, because .bench allows forward references.
+	type decl struct {
+		line  int
+		out   string
+		kind  Kind
+		fanin []string
+	}
+	var decls []decl
+	var outputs []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "INPUT ("):
+			sig, err := parseUnary(line)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+			}
+			decls = append(decls, decl{line: lineNo, out: sig, kind: Input})
+		case strings.HasPrefix(upper, "OUTPUT(") || strings.HasPrefix(upper, "OUTPUT ("):
+			sig, err := parseUnary(line)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+			}
+			outputs = append(outputs, sig)
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("%s:%d: expected assignment, got %q", name, lineNo, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			op := strings.IndexByte(rhs, '(')
+			cl := strings.LastIndexByte(rhs, ')')
+			if op < 0 || cl < op {
+				return nil, fmt.Errorf("%s:%d: malformed gate expression %q", name, lineNo, rhs)
+			}
+			kindStr := strings.ToUpper(strings.TrimSpace(rhs[:op]))
+			kind, ok := KindFromString(kindStr)
+			if !ok {
+				return nil, fmt.Errorf("%s:%d: unknown gate type %q", name, lineNo, kindStr)
+			}
+			if kind == Input {
+				return nil, fmt.Errorf("%s:%d: INPUT cannot appear on the right-hand side", name, lineNo)
+			}
+			var fanin []string
+			for _, f := range strings.Split(rhs[op+1:cl], ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return nil, fmt.Errorf("%s:%d: empty fanin in %q", name, lineNo, line)
+				}
+				fanin = append(fanin, f)
+			}
+			decls = append(decls, decl{line: lineNo, out: out, kind: kind, fanin: fanin})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+
+	for _, d := range decls {
+		if _, dup := c.byName[d.out]; dup {
+			return nil, fmt.Errorf("%s:%d: signal %q defined twice", name, d.line, d.out)
+		}
+		c.AddGate(d.out, d.kind)
+	}
+	for _, d := range decls {
+		id := c.byName[d.out]
+		for _, f := range d.fanin {
+			fid, ok := c.byName[f]
+			if !ok {
+				return nil, fmt.Errorf("%s:%d: gate %q references undefined signal %q", name, d.line, d.out, f)
+			}
+			c.Gates[id].Fanin = append(c.Gates[id].Fanin, fid)
+		}
+	}
+	for _, o := range outputs {
+		id, ok := c.byName[o]
+		if !ok {
+			return nil, fmt.Errorf("%s: OUTPUT(%s) references undefined signal", name, o)
+		}
+		c.MarkOutput(id)
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseUnary(line string) (string, error) {
+	op := strings.IndexByte(line, '(')
+	cl := strings.LastIndexByte(line, ')')
+	if op < 0 || cl < op {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	sig := strings.TrimSpace(line[op+1 : cl])
+	if sig == "" {
+		return "", fmt.Errorf("empty signal in %q", line)
+	}
+	return sig, nil
+}
+
+// WriteBench emits the circuit in .bench format. Output is deterministic:
+// inputs, outputs, then gates in ID order.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d DFFs, %d gates\n",
+		len(c.Inputs), len(c.Outputs), len(c.DFFs), c.NumGates())
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
+	}
+	outs := append([]int(nil), c.Outputs...)
+	sort.Ints(outs)
+	for _, id := range outs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[id].Name)
+	}
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		if g.Kind == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Kind, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// S27 is the ISCAS'89 benchmark circuit s27 — the one real published
+// netlist embedded verbatim; the larger suite circuits are produced by
+// Generate (see DESIGN.md for the substitution rationale).
+const S27 = `# s27 (ISCAS'89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// C17 is the ISCAS'85 benchmark circuit c17 — the classic purely
+// combinational six-NAND example, embedded verbatim. Combinational
+// circuits exercise the PO-only observation path of the flow (no pseudo
+// outputs, hence no monitor sites under the paper's placement rule).
+const C17 = `# c17 (ISCAS'85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// MustParseBench parses a .bench netlist from a string and panics on error.
+// It is intended for embedded netlists and tests.
+func MustParseBench(name, src string) *Circuit {
+	c, err := ParseBench(name, strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

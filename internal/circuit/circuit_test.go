@@ -1,0 +1,415 @@
+package circuit
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildHalfAdder(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("halfadder")
+	a := c.AddGate("a", Input)
+	b := c.AddGate("b", Input)
+	sum := c.AddGate("sum", Xor, a, b)
+	carry := c.AddGate("carry", And, a, b)
+	c.MarkOutput(sum)
+	c.MarkOutput(carry)
+	if err := c.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return c
+}
+
+func TestKindString(t *testing.T) {
+	for k := Input; k < numKinds; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromString(%s) = %v,%v", k, got, ok)
+		}
+	}
+	if _, ok := KindFromString("FOO"); ok {
+		t.Error("unknown kind accepted")
+	}
+	if k, ok := KindFromString("BUFF"); !ok || k != Buf {
+		t.Error("BUFF alias not accepted")
+	}
+	if k, ok := KindFromString("INV"); !ok || k != Not {
+		t.Error("INV alias not accepted")
+	}
+}
+
+func TestKindEval(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		in   []bool
+		want bool
+	}{
+		{Buf, []bool{true}, true},
+		{Not, []bool{true}, false},
+		{And, []bool{true, true, true}, true},
+		{And, []bool{true, false}, false},
+		{Nand, []bool{true, true}, false},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{false, true}, true},
+		{Nor, []bool{false, false}, true},
+		{Xor, []bool{true, true, true}, true},
+		{Xor, []bool{true, true}, false},
+		{Xnor, []bool{true, false}, false},
+		{Xnor, []bool{true, true}, true},
+	}
+	for _, c := range cases {
+		if got := c.k.Eval(c.in); got != c.want {
+			t.Errorf("%v%v = %v, want %v", c.k, c.in, got, c.want)
+		}
+	}
+}
+
+func TestKindInverting(t *testing.T) {
+	inv := map[Kind]bool{Not: true, Nand: true, Nor: true, Xnor: true}
+	for k := Buf; k < DFF; k++ {
+		if k.Inverting() != inv[k] {
+			t.Errorf("%v.Inverting() = %v", k, k.Inverting())
+		}
+	}
+}
+
+func TestBuildAndTopo(t *testing.T) {
+	c := buildHalfAdder(t)
+	if c.NumGates() != 2 {
+		t.Fatalf("NumGates = %d, want 2", c.NumGates())
+	}
+	topo := c.Topo()
+	if len(topo) != 2 {
+		t.Fatalf("topo = %v", topo)
+	}
+	if c.Level(topo[0]) > c.Level(topo[1]) {
+		t.Fatal("topo order violates levels")
+	}
+	if c.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", c.Depth())
+	}
+}
+
+func TestFinalizeErrors(t *testing.T) {
+	c := New("bad")
+	a := c.AddGate("a", Input)
+	c.AddGate("n", Not, a, a) // inverter with 2 pins
+	if err := c.Finalize(); err == nil {
+		t.Fatal("expected error for 2-input NOT")
+	}
+
+	c2 := New("cycle")
+	x := c2.AddGate("x", Input)
+	g1 := c2.AddGate("g1", And)
+	g2 := c2.AddGate("g2", And, g1, x)
+	c2.Gates[g1].Fanin = []int{g2, x}
+	if err := c2.Finalize(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name must panic")
+		}
+	}()
+	c := New("dup")
+	c.AddGate("a", Input)
+	c.AddGate("a", Input)
+}
+
+func TestParseS27(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	if got := c.NumGates(); got != 10 {
+		t.Fatalf("s27 gates = %d, want 10", got)
+	}
+	if got := c.NumFFs(); got != 3 {
+		t.Fatalf("s27 FFs = %d, want 3", got)
+	}
+	if len(c.Inputs) != 4 || len(c.Outputs) != 1 {
+		t.Fatalf("s27 PIs/POs = %d/%d", len(c.Inputs), len(c.Outputs))
+	}
+	taps := c.Taps()
+	if len(taps) != 4 { // 1 PO + 3 PPO
+		t.Fatalf("s27 taps = %d, want 4", len(taps))
+	}
+	if taps[0].IsPseudo() || !taps[1].IsPseudo() {
+		t.Fatal("tap ordering wrong: POs must come first")
+	}
+	if len(c.Sources()) != 7 { // 4 PI + 3 PPI
+		t.Fatalf("s27 sources = %d, want 7", len(c.Sources()))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"G1 = NAND(G0)",            // undefined G0
+		"INPUT()",                  // empty
+		"foo bar",                  // no assignment
+		"INPUT(a)\na = NOT(a)",     // duplicate definition
+		"INPUT(a)\nb = FROB(a)",    // unknown kind
+		"OUTPUT(zz)",               // undefined output
+		"INPUT(a)\nb = INPUT(a)",   // INPUT on RHS
+		"INPUT(a)\nb = NOT(a,",     // malformed parens
+		"INPUT(a)\nb = NOT(a, , )", // empty fanin
+	}
+	for _, src := range cases {
+		if _, err := ParseBench("t", strings.NewReader(src)); err == nil {
+			t.Errorf("ParseBench accepted %q", src)
+		}
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	orig := MustParseBench("s27", S27)
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench("s27", &buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if back.NumGates() != orig.NumGates() || back.NumFFs() != orig.NumFFs() ||
+		len(back.Inputs) != len(orig.Inputs) || len(back.Outputs) != len(orig.Outputs) {
+		t.Fatal("round trip changed circuit statistics")
+	}
+	// Structural check: same named gates with same named fanins.
+	for _, g := range orig.Gates {
+		id, ok := back.GateID(g.Name)
+		if !ok {
+			t.Fatalf("gate %s lost in round trip", g.Name)
+		}
+		bg := back.Gates[id]
+		if bg.Kind != g.Kind || len(bg.Fanin) != len(g.Fanin) {
+			t.Fatalf("gate %s changed in round trip", g.Name)
+		}
+		for i := range g.Fanin {
+			if back.Gates[bg.Fanin[i]].Name != orig.Gates[g.Fanin[i]].Name {
+				t.Fatalf("gate %s fanin %d changed", g.Name, i)
+			}
+		}
+	}
+}
+
+func TestFanoutCone(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	g14, _ := c.GateID("G14")
+	cone := c.FanoutCone(g14)
+	coneNames := map[string]bool{}
+	for _, id := range cone {
+		coneNames[c.Gates[id].Name] = true
+	}
+	// G14 feeds G8 and G10; G8 feeds G15,G16; those feed G9; G9 feeds G11;
+	// G11 feeds G17 and G13-path via G12? (G12 = NOR(G1,G7) — no).
+	for _, want := range []string{"G8", "G10", "G15", "G16", "G9", "G11", "G17"} {
+		if !coneNames[want] {
+			t.Errorf("cone of G14 missing %s (cone: %v)", want, coneNames)
+		}
+	}
+	if coneNames["G12"] {
+		t.Error("cone of G14 wrongly contains G12")
+	}
+	// Topological order within the cone.
+	for i := 1; i < len(cone); i++ {
+		if c.Level(cone[i-1]) > c.Level(cone[i]) {
+			t.Fatal("cone not in topological order")
+		}
+	}
+}
+
+func TestReachableTaps(t *testing.T) {
+	c := MustParseBench("s27", S27)
+	g1, _ := c.GateID("G1")
+	taps := c.Taps()
+	reach := c.ReachableTaps(g1)
+	if len(reach) == 0 {
+		t.Fatal("G1 reaches no taps")
+	}
+	names := map[string]bool{}
+	for _, ti := range reach {
+		names[taps[ti].Name] = true
+	}
+	// G1 -> G12 -> {G15->G9..., G13->DFF G7}; must reach ppo:G7.
+	if !names["ppo:G7"] {
+		t.Errorf("G1 must reach ppo:G7, got %v", names)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{Name: "gen", Gates: 200, FFs: 20, Inputs: 10, Outputs: 8, Depth: 12, Seed: 7}
+	a := MustGenerate(spec)
+	b := MustGenerate(spec)
+	var bufA, bufB bytes.Buffer
+	if err := WriteBench(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBench(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Fatal("Generate is not deterministic")
+	}
+}
+
+func TestGenerateStats(t *testing.T) {
+	spec := GenSpec{Name: "gen", Gates: 500, FFs: 40, Inputs: 16, Outputs: 10, Depth: 20, Seed: 3}
+	c := MustGenerate(spec)
+	if c.NumGates() != 500 {
+		t.Fatalf("gates = %d, want 500", c.NumGates())
+	}
+	if c.NumFFs() != 40 {
+		t.Fatalf("FFs = %d, want 40", c.NumFFs())
+	}
+	if len(c.Inputs) != 16 {
+		t.Fatalf("PIs = %d, want 16", len(c.Inputs))
+	}
+	if len(c.Outputs) < 10 {
+		t.Fatalf("POs = %d, want >= 10", len(c.Outputs))
+	}
+	if c.Depth() > 20 {
+		t.Fatalf("depth = %d, want <= 20", c.Depth())
+	}
+	// Every combinational gate must be observable (have fanout or be a
+	// sink): the generator promises no dangling logic.
+	taps := c.Taps()
+	isTapGate := map[int]bool{}
+	for _, tp := range taps {
+		isTapGate[tp.Gate] = true
+	}
+	for id, g := range c.Gates {
+		if g.Kind == Input || g.Kind == DFF {
+			continue
+		}
+		if len(g.Fanout) == 0 && !isTapGate[id] {
+			t.Fatalf("gate %s dangling", g.Name)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenSpec{
+		{Name: "g", Gates: 0, Inputs: 1, Depth: 1},
+		{Name: "g", Gates: 5, Inputs: 0, FFs: 0, Depth: 3},
+		{Name: "g", Gates: 5, Inputs: 2, Depth: 0},
+	}
+	for _, spec := range bad {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("Generate accepted invalid spec %+v", spec)
+		}
+	}
+}
+
+func TestGenerateRoundTrip(t *testing.T) {
+	c := MustGenerate(GenSpec{Name: "gen", Gates: 120, FFs: 12, Inputs: 8, Outputs: 6, Depth: 10, Seed: 11})
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench("gen", &buf)
+	if err != nil {
+		t.Fatalf("generated circuit does not reparse: %v", err)
+	}
+	if back.NumGates() != c.NumGates() || back.NumFFs() != c.NumFFs() {
+		t.Fatal("generated circuit stats changed through bench round trip")
+	}
+}
+
+func TestPropGeneratedCircuitsValid(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := func() bool {
+		spec := GenSpec{
+			Name:    "prop",
+			Gates:   20 + r.Intn(300),
+			FFs:     r.Intn(30),
+			Inputs:  1 + r.Intn(20),
+			Outputs: r.Intn(10),
+			Depth:   1 + r.Intn(25),
+			Seed:    r.Int63(),
+		}
+		c, err := Generate(spec)
+		if err != nil {
+			return false
+		}
+		if c.NumGates() != spec.Gates || c.NumFFs() != spec.FFs {
+			return false
+		}
+		// Topo order sanity: every fanin of a combinational gate appears
+		// earlier (or is a source).
+		pos := map[int]int{}
+		for i, id := range c.Topo() {
+			pos[id] = i
+		}
+		for _, id := range c.Topo() {
+			for _, f := range c.Gates[id].Fanin {
+				fg := c.Gates[f]
+				if fg.Kind == Input || fg.Kind == DFF {
+					continue
+				}
+				if pos[f] >= pos[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := buildHalfAdder(t)
+	s := c.Stats()
+	if s.Gates != 2 || s.Inputs != 2 || s.Outputs != 2 || s.FFs != 0 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty Stats string")
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	c := buildHalfAdder(t)
+	names := c.SortedNames()
+	if len(names) != 4 || names[0] != "a" {
+		t.Fatalf("SortedNames = %v", names)
+	}
+}
+
+func TestParseC17(t *testing.T) {
+	c := MustParseBench("c17", C17)
+	if c.NumGates() != 6 || c.NumFFs() != 0 {
+		t.Fatalf("c17: %d gates, %d FFs", c.NumGates(), c.NumFFs())
+	}
+	if len(c.Inputs) != 5 || len(c.Outputs) != 2 {
+		t.Fatalf("c17 ports: %d/%d", len(c.Inputs), len(c.Outputs))
+	}
+	// Truth spot check: all inputs 1 -> 10=NAND(1,1)=0, 11=0, 16=NAND(1,0)=1,
+	// 19=1, 22=NAND(0,1)=1, 23=NAND(1,1)=0.
+	val := make([]bool, len(c.Gates))
+	for _, id := range c.Inputs {
+		val[id] = true
+	}
+	ins := make([]bool, 0, 2)
+	for _, id := range c.Topo() {
+		g := &c.Gates[id]
+		ins = ins[:0]
+		for _, f := range g.Fanin {
+			ins = append(ins, val[f])
+		}
+		val[id] = g.Kind.Eval(ins)
+	}
+	g22, _ := c.GateID("22")
+	g23, _ := c.GateID("23")
+	if val[g22] != true || val[g23] != false {
+		t.Fatalf("c17 all-ones: 22=%v 23=%v", val[g22], val[g23])
+	}
+}

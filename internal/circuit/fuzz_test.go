@@ -1,0 +1,37 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench checks that arbitrary input never panics the parser and
+// that every accepted netlist survives a write/parse round trip with
+// identical statistics.
+func FuzzParseBench(f *testing.F) {
+	f.Add(S27)
+	f.Add(C17)
+	f.Add("INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n")
+	f.Add("# only a comment\n")
+	f.Add("INPUT(a)\nb = NAND(a, a)\nOUTPUT(b)")
+	f.Add("G1 = DFF(G1)")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseBench("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBench(&buf, c); err != nil {
+			t.Fatalf("accepted netlist fails to write: %v", err)
+		}
+		back, err := ParseBench("fuzz", &buf)
+		if err != nil {
+			t.Fatalf("written netlist fails to reparse: %v\n%s", err, buf.String())
+		}
+		if back.NumGates() != c.NumGates() || back.NumFFs() != c.NumFFs() ||
+			len(back.Inputs) != len(c.Inputs) || len(back.Outputs) != len(c.Outputs) {
+			t.Fatal("round trip changed statistics")
+		}
+	})
+}

@@ -1,0 +1,254 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// GenSpec parameterizes the synthetic benchmark generator. The generator
+// substitutes the ISCAS'89 and industrial netlists the paper evaluates
+// (which are not redistributable): it produces full-scan circuits with the
+// same per-circuit gate/FF statistics and a realistic level structure so
+// that path-delay distributions — the only property the detection-range
+// analysis depends on — resemble synthesized designs.
+type GenSpec struct {
+	Name    string
+	Gates   int // combinational gate target (exact)
+	FFs     int // flip-flop count (exact)
+	Inputs  int // primary inputs (exact)
+	Outputs int // primary outputs (minimum; dangling signals add more)
+	Depth   int // maximum logic depth (approximate upper bound)
+	Seed    int64
+}
+
+// Validate checks the spec for consistency.
+func (s GenSpec) Validate() error {
+	if s.Gates < 1 {
+		return fmt.Errorf("circuit.Generate(%s): need at least 1 gate", s.Name)
+	}
+	if s.Inputs+s.FFs < 1 {
+		return fmt.Errorf("circuit.Generate(%s): need at least one source", s.Name)
+	}
+	if s.Depth < 1 {
+		return fmt.Errorf("circuit.Generate(%s): depth must be >= 1", s.Name)
+	}
+	if s.Outputs < 0 || s.FFs < 0 || s.Inputs < 0 {
+		return fmt.Errorf("circuit.Generate(%s): negative counts", s.Name)
+	}
+	return nil
+}
+
+// Generate builds a deterministic pseudo-random full-scan netlist for the
+// spec. The same spec always yields the same circuit.
+func Generate(spec GenSpec) (*Circuit, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	c := New(spec.Name)
+
+	// Sources: primary inputs and flip-flop outputs (level 0). DFF D pins
+	// are wired after the combinational logic exists; use a placeholder of
+	// the first source for now.
+	for i := 0; i < spec.Inputs; i++ {
+		c.AddGate(fmt.Sprintf("pi%d", i), Input)
+	}
+	ffIDs := make([]int, spec.FFs)
+	for i := 0; i < spec.FFs; i++ {
+		ffIDs[i] = c.AddGate(fmt.Sprintf("ff%d", i), DFF) // fanin wired below
+	}
+
+	// Distribute the combinational gates over levels 1..Depth. A mild
+	// taper (more gates near the inputs, fewer at the deep end) mimics
+	// synthesized cones.
+	depth := spec.Depth
+	if depth > spec.Gates {
+		depth = spec.Gates
+	}
+	perLevel := make([]int, depth+1)
+	remaining := spec.Gates
+	for l := 1; l <= depth; l++ {
+		levelsLeft := depth - l + 1
+		share := remaining / levelsLeft
+		if share < 1 {
+			share = 1
+		}
+		// Taper: early levels get up to 40% more than the average share.
+		if l <= depth/3 && levelsLeft > 1 {
+			share += share * 2 / 5
+		}
+		if share > remaining-(levelsLeft-1) {
+			share = remaining - (levelsLeft - 1)
+		}
+		perLevel[l] = share
+		remaining -= share
+	}
+	perLevel[depth] += remaining
+
+	// byLevel[l] holds gate IDs whose output is available at level l.
+	byLevel := make([][]int, depth+1)
+	byLevel[0] = append(append([]int{}, c.Inputs...), ffIDs...)
+
+	// useCount tracks how often each signal is consumed; fanin selection
+	// prefers lightly used signals (tournament of 3), which keeps the
+	// fanout distribution close to synthesized netlists and avoids the
+	// massive reconvergent redundancy of uniformly random DAGs.
+	useCount := make(map[int]int)
+	pickFanin := func(level int) int {
+		for {
+			var l int
+			switch {
+			case level == 1:
+				l = 0
+			case rng.Float64() < 0.6:
+				l = level - 1
+			default:
+				l = rng.Intn(level)
+			}
+			pool := byLevel[l]
+			if len(pool) == 0 {
+				continue
+			}
+			best := pool[rng.Intn(len(pool))]
+			for t := 0; t < 2; t++ {
+				cand := pool[rng.Intn(len(pool))]
+				if useCount[cand] < useCount[best] {
+					best = cand
+				}
+			}
+			useCount[best]++
+			return best
+		}
+	}
+
+	kindWeights := []struct {
+		kind Kind
+		w    int
+	}{
+		{Nand, 28}, {Nor, 20}, {And, 14}, {Or, 14}, {Not, 12}, {Xor, 5}, {Xnor, 3}, {Buf, 4},
+	}
+	totalW := 0
+	for _, kw := range kindWeights {
+		totalW += kw.w
+	}
+	pickKind := func() Kind {
+		r := rng.Intn(totalW)
+		for _, kw := range kindWeights {
+			if r < kw.w {
+				return kw.kind
+			}
+			r -= kw.w
+		}
+		return Nand
+	}
+
+	gateNum := 0
+	for l := 1; l <= depth; l++ {
+		for i := 0; i < perLevel[l]; i++ {
+			kind := pickKind()
+			nin := 1
+			if kind != Not && kind != Buf {
+				switch r := rng.Float64(); {
+				case r < 0.62:
+					nin = 2
+				case r < 0.88:
+					nin = 3
+				default:
+					nin = 4
+				}
+			}
+			fanin := make([]int, 0, nin)
+			seen := map[int]bool{}
+			for attempts := 0; len(fanin) < nin; attempts++ {
+				f := pickFanin(l)
+				if seen[f] {
+					if attempts < 48 {
+						// Duplicate input pins make the gate partially
+						// redundant (XOR of a signal with itself is
+						// constant); retry hard, and rather drop the pin
+						// than accept a duplicate.
+						continue
+					}
+					break
+				}
+				seen[f] = true
+				fanin = append(fanin, f)
+			}
+			if len(fanin) == 0 {
+				fanin = append(fanin, pickFanin(l))
+			}
+			id := c.AddGate(fmt.Sprintf("g%d", gateNum), kind, fanin...)
+			gateNum++
+			byLevel[l] = append(byLevel[l], id)
+		}
+	}
+
+	// Wire sinks: FF D inputs and primary outputs. Dangling combinational
+	// signals (no fanout yet) are consumed first, deepest first, so that
+	// every gate is observable and long path ends terminate in FFs — the
+	// placement precondition for the paper's monitor insertion.
+	fanoutCount := make([]int, len(c.Gates))
+	for id := range c.Gates {
+		for _, f := range c.Gates[id].Fanin {
+			fanoutCount[f]++
+		}
+	}
+	var dangling []int
+	for id, g := range c.Gates {
+		if g.Kind != Input && g.Kind != DFF && fanoutCount[id] == 0 {
+			dangling = append(dangling, id)
+		}
+	}
+	// Deepest first (stable: generator levels are monotone in ID per level,
+	// so sort by recorded construction level).
+	levelOf := make([]int, len(c.Gates))
+	for l, ids := range byLevel {
+		for _, id := range ids {
+			levelOf[id] = l
+		}
+	}
+	sort.SliceStable(dangling, func(i, j int) bool { return levelOf[dangling[i]] > levelOf[dangling[j]] })
+
+	sinkCount := spec.FFs + spec.Outputs
+	sinks := make([]int, 0, sinkCount)
+	sinks = append(sinks, dangling...)
+	allComb := make([]int, 0, spec.Gates)
+	for l := 1; l <= depth; l++ {
+		allComb = append(allComb, byLevel[l]...)
+	}
+	for len(sinks) < sinkCount {
+		if len(allComb) > 0 {
+			sinks = append(sinks, allComb[rng.Intn(len(allComb))])
+		} else {
+			sinks = append(sinks, byLevel[0][rng.Intn(len(byLevel[0]))])
+		}
+	}
+
+	// FF D inputs take the deepest sinks (long path ends), POs the rest;
+	// leftover dangling signals become additional POs.
+	for i, ff := range ffIDs {
+		d := sinks[i%len(sinks)]
+		c.Gates[ff].Fanin = []int{d}
+	}
+	for i := spec.FFs; i < len(sinks); i++ {
+		c.MarkOutput(sinks[i])
+	}
+	if len(c.Outputs) == 0 && len(allComb) > 0 {
+		c.MarkOutput(allComb[len(allComb)-1])
+	}
+
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustGenerate is Generate panicking on error, for specs known statically.
+func MustGenerate(spec GenSpec) *Circuit {
+	c, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"fastmon/internal/cell"
+	"fastmon/internal/circuit"
+	"fastmon/internal/fault"
+	"fastmon/internal/schedule"
+)
+
+func runS27(t *testing.T) *Flow {
+	t.Helper()
+	c := circuit.MustParseBench("s27", circuit.S27)
+	f, err := Run(c, cell.NanGate45(), nil, Config{ATPGSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.ClockMargin != 0.05 || c.FMaxFactor != 3 || c.MonitorFraction != 0.25 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if len(c.DelayFractions) != 4 || c.FaultSampleK != 1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{ClockMargin: 0.1, FMaxFactor: 2}.Defaults()
+	if c2.ClockMargin != 0.1 || c2.FMaxFactor != 2 {
+		t.Fatalf("overrides lost: %+v", c2)
+	}
+}
+
+func TestRunS27FlowConsistency(t *testing.T) {
+	f := runS27(t)
+	if f.Clk <= 0 || f.TMin <= 0 || f.TMin >= f.Clk {
+		t.Fatalf("clocks: clk=%d tmin=%d", f.Clk, f.TMin)
+	}
+	if f.Delta != f.Library.FaultSize() {
+		t.Fatal("delta mismatch")
+	}
+	// Partition accounts for the whole universe.
+	total := 0
+	for _, fs := range f.Classes {
+		total += len(fs)
+	}
+	if total != len(f.Universe) {
+		t.Fatalf("classes total %d != universe %d", total, len(f.Universe))
+	}
+	if len(f.HDFs) != len(f.Data) {
+		t.Fatal("data not aligned with HDF list")
+	}
+	// Prop ⊇ Conv; Target ∪ AtSpeedMonitor = Prop, disjoint.
+	conv := map[int]bool{}
+	for _, i := range f.ConvDetected {
+		conv[i] = true
+	}
+	prop := map[int]bool{}
+	for _, i := range f.PropDetected {
+		prop[i] = true
+	}
+	for i := range conv {
+		if !prop[i] {
+			t.Fatal("conventional-detected fault missing from prop set")
+		}
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, f.AtSpeedMonitor...), f.TargetIdx...) {
+		if !prop[i] || seen[i] {
+			t.Fatal("target/at-speed partition broken")
+		}
+		seen[i] = true
+	}
+	if len(seen) != len(f.PropDetected) {
+		t.Fatal("target + at-speed != prop")
+	}
+	if len(f.TargetData) != len(f.TargetIdx) {
+		t.Fatal("target data misaligned")
+	}
+	// Monitors help (on s27 with 25% placement this may be modest but
+	// prop can never be smaller than conv).
+	if len(f.PropDetected) < len(f.ConvDetected) {
+		t.Fatal("monitors reduced coverage")
+	}
+}
+
+func TestRunSchedulesAllMethods(t *testing.T) {
+	f := runS27(t)
+	if len(f.TargetData) == 0 {
+		t.Skip("no target faults on s27 at this configuration")
+	}
+	for _, m := range []schedule.Method{schedule.Conventional, schedule.Heuristic, schedule.ILP} {
+		s, err := f.BuildSchedule(m, 1.0)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := schedule.Validate(f.TargetData, s, f.ScheduleOptions(m, 1.0)); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if s.Covered != s.Coverable {
+			t.Fatalf("%v: covered %d of %d", m, s.Covered, s.Coverable)
+		}
+	}
+}
+
+func TestCoverageAtMonotone(t *testing.T) {
+	f := runS27(t)
+	delays := f.Delays()
+	prevConv, prevProp := 0.0, 0.0
+	for _, k := range []float64{1.0, 1.5, 2.0, 2.5, 3.0} {
+		conv, prop := f.CoverageAt(k, delays)
+		if conv < prevConv-1e-9 || prop < prevProp-1e-9 {
+			t.Fatalf("coverage not monotone in f_max at k=%.1f", k)
+		}
+		if prop < conv-1e-9 {
+			t.Fatalf("prop < conv at k=%.1f", k)
+		}
+		prevConv, prevProp = conv, prop
+	}
+}
+
+func TestFaultSampling(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	f, err := Run(c, cell.NanGate45(), nil, Config{ATPGSeed: 1, FaultSampleK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := len(fault.Universe(c))
+	if len(f.Universe) > all/4+1 {
+		t.Fatalf("sampling ineffective: %d of %d", len(f.Universe), all)
+	}
+}
+
+func TestRunGeneratedCircuit(t *testing.T) {
+	c := circuit.MustGenerate(circuit.GenSpec{
+		Name: "gen400", Gates: 400, FFs: 40, Inputs: 12, Outputs: 10, Depth: 16, Seed: 5,
+	})
+	f, err := Run(c, cell.NanGate45(), nil, Config{ATPGSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The monitored setup must beat conventional detection on a circuit
+	// with short observable paths.
+	if len(f.PropDetected) <= len(f.ConvDetected) {
+		t.Logf("conv=%d prop=%d (gain can be zero on tiny designs)", len(f.ConvDetected), len(f.PropDetected))
+	}
+	if len(f.TargetData) == 0 {
+		t.Fatal("no target faults at all")
+	}
+	s, err := f.BuildSchedule(schedule.ILP, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schedule.Validate(f.TargetData, s, f.ScheduleOptions(schedule.ILP, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFrequencies() == 0 {
+		t.Fatal("empty schedule for non-empty target set")
+	}
+}

@@ -1,0 +1,250 @@
+// Package detect computes detection ranges: it drives the timing-accurate
+// fault simulator over the whole pattern set and fault list (flow step 2
+// of Fig. 4), splits the per-tap difference waveforms into the flip-flop
+// part I_FF and the shadow-register part I_SR (steps 3–4), and applies the
+// pessimistic glitch filtering of Fig. 1.
+//
+// Per-fault, per-pattern ranges are kept sparse — only patterns that
+// detect a fault at all are stored — because the scheduler's second
+// optimization step needs to know which (pattern, configuration)
+// combinations detect each fault at a chosen clock period.
+package detect
+
+import (
+	"runtime"
+	"sync"
+
+	"fastmon/internal/fault"
+	"fastmon/internal/interval"
+	"fastmon/internal/monitor"
+	"fastmon/internal/sim"
+	"fastmon/internal/tunit"
+)
+
+// Config parameterizes the detection-range computation.
+type Config struct {
+	// Clk is the nominal clock period t_nom.
+	Clk tunit.Time
+	// TMin is the minimum FAST clock period 1/f_max.
+	TMin tunit.Time
+	// Delta is the fault size δ.
+	Delta tunit.Time
+	// Glitch is the pulse-filtering threshold: detection intervals
+	// shorter than this are discarded pessimistically, and glitch-sized
+	// gaps between intervals are NOT merged (kept disjoint, per Fig. 1).
+	Glitch tunit.Time
+	// Workers bounds the simulation goroutines (0 = GOMAXPROCS).
+	Workers int
+}
+
+// ObservationWindow returns the half-open interval of admissible capture
+// times [TMin, Clk+1): FAST frequencies between f_max and f_nom inclusive.
+func (cfg Config) ObservationWindow() (lo, hi tunit.Time) {
+	return cfg.TMin, cfg.Clk + 1
+}
+
+// PatternRange holds the detection ranges of one fault under one pattern.
+// Both sets are *unshifted* and unclipped within [0, Clk]: FF is the union
+// over all observation points, SR the union over monitored observation
+// points only. The scheduler shifts SR by each configured delay and clips
+// to the observation window on demand.
+type PatternRange struct {
+	Pattern int
+	FF      interval.Set
+	SR      interval.Set
+}
+
+// FaultData aggregates the detection behaviour of one fault over the whole
+// pattern set.
+type FaultData struct {
+	Fault fault.Fault
+	// Per holds one entry per pattern that detects the fault anywhere in
+	// [0, Clk], ordered by pattern index.
+	Per []PatternRange
+}
+
+// FFUnion returns the union of the flip-flop ranges over all patterns.
+func (fd *FaultData) FFUnion() interval.Set {
+	var u interval.Set
+	for _, pr := range fd.Per {
+		u = u.Union(pr.FF)
+	}
+	return u
+}
+
+// SRUnion returns the union of the unshifted shadow-register ranges over
+// all patterns.
+func (fd *FaultData) SRUnion() interval.Set {
+	var u interval.Set
+	for _, pr := range fd.Per {
+		u = u.Union(pr.SR)
+	}
+	return u
+}
+
+// Combined returns the full detection range
+//
+//	I(φ) = I_FF ∪ ⋃_{d∈C} (I_SR + d)
+//
+// clipped to the observation window [TMin, Clk].
+func (fd *FaultData) Combined(cfg Config, delays []tunit.Time) interval.Set {
+	lo, hi := cfg.ObservationWindow()
+	u := fd.FFUnion().Clip(lo, hi)
+	sr := fd.SRUnion()
+	for _, d := range delays {
+		u = u.Union(sr.Shift(d).Clip(lo, hi))
+	}
+	return u
+}
+
+// CombinedAt reports the detection range of the fault under one specific
+// pattern and monitor configuration (delay d; d < 0 means "flip-flops
+// only"), clipped to the observation window. Used by the second
+// scheduling step.
+func (pr PatternRange) CombinedAt(cfg Config, d tunit.Time) interval.Set {
+	lo, hi := cfg.ObservationWindow()
+	u := pr.FF.Clip(lo, hi)
+	if d >= 0 {
+		u = u.Union(pr.SR.Shift(d).Clip(lo, hi))
+	}
+	return u
+}
+
+// CombinedFree reports the detection range of the fault under one pattern
+// when every monitor may select its own delay element independently — the
+// extension beyond the paper's shared-setting assumption (Sec. IV-B). It
+// is the optimistic (best-case) model: per-monitor conflicts between
+// faults needing different settings at the same monitor are ignored, so
+// schedules built from it lower-bound the achievable test time.
+func (pr PatternRange) CombinedFree(cfg Config, delays []tunit.Time) interval.Set {
+	lo, hi := cfg.ObservationWindow()
+	u := pr.FF.Clip(lo, hi)
+	for _, d := range delays {
+		u = u.Union(pr.SR.Shift(d).Clip(lo, hi))
+	}
+	return u
+}
+
+// Run simulates every fault under every pattern and returns the sparse
+// detection data, ordered like the fault list. Simulation parallelizes
+// over patterns; each worker simulates the fault-free circuit once per
+// pattern and then injects every fault into it.
+func Run(e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
+	patterns []sim.Pattern, cfg Config) ([]FaultData, error) {
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(patterns) {
+		workers = len(patterns)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	horizon := cfg.Clk + 1
+
+	type cell struct {
+		ff, sr interval.Set
+	}
+	// results[f][p] is filled independently by workers: no two workers
+	// touch the same pattern index.
+	results := make([]map[int]cell, len(faults))
+	for i := range results {
+		results[i] = nil
+	}
+	var mu sync.Mutex
+
+	work := make(chan int)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make(map[int]map[int]cell) // fault -> pattern -> cell
+			for pi := range work {
+				base, err := e.Baseline(patterns[pi])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for fi, f := range faults {
+					dets := e.FaultSim(base, f.Injection(cfg.Delta), horizon)
+					if len(dets) == 0 {
+						continue
+					}
+					var ff, sr interval.Set
+					for _, d := range dets {
+						diff := d.Diff.FilterShort(cfg.Glitch)
+						if diff.Empty() {
+							continue
+						}
+						ff = ff.Union(diff)
+						if placement != nil && placement.Covers(d.Tap) {
+							sr = sr.Union(diff)
+						}
+					}
+					if ff.Empty() && sr.Empty() {
+						continue
+					}
+					m := local[fi]
+					if m == nil {
+						m = map[int]cell{}
+						local[fi] = m
+					}
+					m[pi] = cell{ff: ff, sr: sr}
+				}
+			}
+			mu.Lock()
+			for fi, m := range local {
+				if results[fi] == nil {
+					results[fi] = m
+					continue
+				}
+				for pi, c := range m {
+					results[fi][pi] = c
+				}
+			}
+			mu.Unlock()
+		}()
+	}
+	for pi := range patterns {
+		work <- pi
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	out := make([]FaultData, len(faults))
+	for fi, f := range faults {
+		out[fi].Fault = f
+		m := results[fi]
+		if len(m) == 0 {
+			continue
+		}
+		pis := make([]int, 0, len(m))
+		for pi := range m {
+			pis = append(pis, pi)
+		}
+		sortInts(pis)
+		for _, pi := range pis {
+			out[fi].Per = append(out[fi].Per, PatternRange{Pattern: pi, FF: m[pi].ff, SR: m[pi].sr})
+		}
+	}
+	return out, nil
+}
+
+func sortInts(a []int) {
+	// Insertion sort suffices: pattern hit lists are short and nearly
+	// sorted (workers process patterns in dispatch order).
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package dot implements the test observation time discretization of
+// Sec. IV-A (Fig. 5): the boundaries of all fault detection intervals cut
+// the time axis into elementary segments; every observation time within a
+// segment detects the same fault set; representative segments (those whose
+// fault set is not dominated by another segment's) yield one candidate
+// clock period each — the segment midpoint, chosen for robustness under
+// variations.
+package dot
+
+import (
+	"sort"
+
+	"fastmon/internal/bitset"
+	"fastmon/internal/interval"
+	"fastmon/internal/tunit"
+)
+
+// Candidate is one candidate test clock period.
+type Candidate struct {
+	// T is the representative observation time (segment midpoint).
+	T tunit.Time
+	// Seg is the elementary segment the candidate represents.
+	Seg interval.Interval
+	// Faults is the set of fault indices detected when capturing at T.
+	Faults *bitset.Set
+}
+
+// Discretize computes the candidate clock periods for the given per-fault
+// detection ranges (indexed by fault). Empty ranges contribute nothing.
+// Candidates with identical fault sets are merged and candidates whose
+// fault set is a subset of another's are pruned (the non-representative
+// segments of Fig. 5).
+func Discretize(ranges []interval.Set) []Candidate {
+	type event struct {
+		t     tunit.Time
+		fault int
+		open  bool
+	}
+	var events []event
+	for fi, r := range ranges {
+		for _, iv := range r.Intervals() {
+			events = append(events, event{t: iv.Lo, fault: fi, open: true})
+			events = append(events, event{t: iv.Hi, fault: fi, open: false})
+		}
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		// Closings before openings at the same instant: intervals are
+		// half-open, so a range ending at t does not cover t.
+		return !events[i].open && events[j].open
+	})
+
+	active := bitset.New(len(ranges))
+	var cands []Candidate
+	i := 0
+	for i < len(events) {
+		t := events[i].t
+		for i < len(events) && events[i].t == t {
+			if events[i].open {
+				active.Add(events[i].fault)
+			} else {
+				active.Remove(events[i].fault)
+			}
+			i++
+		}
+		if active.Empty() || i >= len(events) {
+			continue
+		}
+		next := events[i].t
+		if next == t {
+			continue
+		}
+		seg := interval.Interval{Lo: t, Hi: next}
+		cands = append(cands, Candidate{T: seg.Mid(), Seg: seg, Faults: active.Clone()})
+	}
+
+	return prune(cands)
+}
+
+// prune merges duplicate fault sets (keeping the earliest segment) and
+// removes candidates dominated by another candidate's superset.
+func prune(cands []Candidate) []Candidate {
+	// Sort by descending fault count so that any dominator precedes the
+	// dominated candidate.
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].Faults.Count() > cands[j].Faults.Count()
+	})
+	var out []Candidate
+	for _, c := range cands {
+		dominated := false
+		for _, kept := range out {
+			if c.Faults.SubsetOf(kept.Faults) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	// Restore time order for deterministic downstream processing.
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// CoverableFaults returns the union of all candidates' fault sets — the
+// faults detectable at any admissible observation time.
+func CoverableFaults(cands []Candidate, nFaults int) *bitset.Set {
+	u := bitset.New(nFaults)
+	for _, c := range cands {
+		u.Or(c.Faults)
+	}
+	return u
+}

@@ -1,0 +1,167 @@
+package dot
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastmon/internal/interval"
+	"fastmon/internal/tunit"
+)
+
+// fig5 reproduces the example of Fig. 5: three faults whose interval
+// boundaries split the axis into six segments; the two densest segments
+// are representative.
+func fig5() []interval.Set {
+	// φ1: [10,50); φ2: [30,80); φ3: [40,60) ∪ [70,90)
+	return []interval.Set{
+		interval.FromPoints(10, 50),
+		interval.FromPoints(30, 80),
+		interval.FromPoints(40, 60, 70, 90),
+	}
+}
+
+func TestDiscretizeFig5(t *testing.T) {
+	cands := Discretize(fig5())
+	// Segments and fault sets:
+	// [10,30): {1}        — dominated by [30,40) etc.
+	// [30,40): {1,2}      — dominated by [40,50)
+	// [40,50): {1,2,3}    — representative (T0)
+	// [50,60): {2,3}      — dominated by [40,50)? {2,3} ⊂ {1,2,3} yes
+	// [60,70): {2}        — dominated
+	// [70,80): {2,3}      — dominated
+	// [80,90): {3}        — dominated
+	if len(cands) != 1 {
+		for _, c := range cands {
+			t.Logf("cand T=%d faults=%v seg=%v", c.T, c.Faults.Members(nil), c.Seg)
+		}
+		t.Fatalf("candidates = %d, want 1", len(cands))
+	}
+	c := cands[0]
+	if c.Seg.Lo != 40 || c.Seg.Hi != 50 || c.T != 45 {
+		t.Fatalf("candidate = %+v", c)
+	}
+	if c.Faults.Count() != 3 {
+		t.Fatalf("fault set = %v", c.Faults.Members(nil))
+	}
+}
+
+func TestDiscretizeDisjointFaults(t *testing.T) {
+	// Two faults with disjoint ranges need two candidates.
+	ranges := []interval.Set{
+		interval.FromPoints(10, 20),
+		interval.FromPoints(30, 40),
+	}
+	cands := Discretize(ranges)
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(cands))
+	}
+	if cands[0].T != 15 || cands[1].T != 35 {
+		t.Fatalf("candidates = %+v", cands)
+	}
+	u := CoverableFaults(cands, 2)
+	if u.Count() != 2 {
+		t.Fatal("union must cover both faults")
+	}
+}
+
+func TestDiscretizeEmptyAndSingle(t *testing.T) {
+	if got := Discretize(nil); got != nil {
+		t.Fatal("nil input must give nil")
+	}
+	if got := Discretize([]interval.Set{{}}); got != nil {
+		t.Fatal("empty ranges must give nil")
+	}
+	cands := Discretize([]interval.Set{interval.FromPoints(100, 200)})
+	if len(cands) != 1 || cands[0].T != 150 {
+		t.Fatalf("single = %+v", cands)
+	}
+}
+
+func TestDiscretizeTouchingBoundaries(t *testing.T) {
+	// Ranges sharing a boundary: [10,20) and [20,30) — no time detects
+	// both (half-open semantics).
+	ranges := []interval.Set{
+		interval.FromPoints(10, 20),
+		interval.FromPoints(20, 30),
+	}
+	cands := Discretize(ranges)
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(cands))
+	}
+	for _, c := range cands {
+		if c.Faults.Count() != 1 {
+			t.Fatalf("touching ranges merged: %+v", c)
+		}
+	}
+}
+
+func TestPropCandidatesCoverEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		n := 1 + rng.Intn(20)
+		ranges := make([]interval.Set, n)
+		for i := range ranges {
+			var ivs []interval.Interval
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				lo := tunit.Time(rng.Intn(500))
+				ivs = append(ivs, interval.Interval{Lo: lo, Hi: lo + tunit.Time(1+rng.Intn(100))})
+			}
+			ranges[i] = interval.New(ivs...)
+		}
+		cands := Discretize(ranges)
+		// Every fault with a non-empty range must appear in some candidate.
+		covered := CoverableFaults(cands, n)
+		for i, r := range ranges {
+			if !r.Empty() && !covered.Has(i) {
+				return false
+			}
+		}
+		// Each candidate's fault set must be exactly the faults whose
+		// range contains its midpoint.
+		for _, c := range cands {
+			for i, r := range ranges {
+				if r.Contains(c.T) != c.Faults.Has(i) {
+					return false
+				}
+			}
+		}
+		// No candidate dominated by another.
+		for i := range cands {
+			for j := range cands {
+				if i != j && cands[i].Faults.SubsetOf(cands[j].Faults) &&
+					cands[i].Faults.Equal(cands[j].Faults) == false {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropNoDuplicateFaultSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		n := 1 + rng.Intn(10)
+		ranges := make([]interval.Set, n)
+		for i := range ranges {
+			lo := tunit.Time(rng.Intn(100))
+			ranges[i] = interval.New(interval.Interval{Lo: lo, Hi: lo + tunit.Time(1+rng.Intn(80))})
+		}
+		cands := Discretize(ranges)
+		for i := range cands {
+			for j := i + 1; j < len(cands); j++ {
+				if cands[i].Faults.Equal(cands[j].Faults) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblateMonitorFraction(t *testing.T) {
+	spec := mustSpec(t, "s9234")
+	rows, err := AblateMonitorFraction(spec, smallCfg(), []float64{0.10, 0.25, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Monitors < rows[i-1].Monitors {
+			t.Fatal("monitor count not monotone in fraction")
+		}
+		if rows[i].Prop < rows[i-1].Prop {
+			t.Fatalf("more monitors reduced prop coverage: %+v", rows)
+		}
+		// Conventional detection is independent of placement.
+		if rows[i].Conv != rows[0].Conv {
+			t.Fatalf("conv coverage changed with monitor fraction: %+v", rows)
+		}
+	}
+}
+
+func TestAblateDelayConfigs(t *testing.T) {
+	r, err := RunCircuit(mustSpec(t, "s9234"), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := AblateDelayConfigs(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More delay elements can only increase coverable targets.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Coverable < rows[i-1].Coverable {
+			t.Fatalf("coverable not monotone in element count: %+v", rows)
+		}
+	}
+	// Full programmability covers everything the flow targeted.
+	if rows[3].Coverable != len(r.Flow.TargetData) {
+		t.Fatalf("4-element subset coverable=%d, want %d", rows[3].Coverable, len(r.Flow.TargetData))
+	}
+}
+
+func TestAblateGlitch(t *testing.T) {
+	spec := mustSpec(t, "s9234")
+	rows, err := AblateGlitch(spec, smallCfg(), []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More pessimistic filtering can only lose detections.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Prop > rows[i-1].Prop || rows[i].Conv > rows[i-1].Conv {
+			t.Fatalf("stricter glitch filter increased coverage: %+v", rows)
+		}
+	}
+	if rows[0].Glitch != 0 && rows[0].Scale == 0 {
+		// Scale 0 maps to a 1e-9 threshold, which rounds to zero ps.
+		t.Fatalf("scale-0 threshold = %v", rows[0].Glitch)
+	}
+}
+
+func TestWriteAblation(t *testing.T) {
+	var sb strings.Builder
+	WriteAblation(&sb,
+		[]FractionRow{{Fraction: 0.25, Monitors: 5}},
+		[]DelayRow{{Label: "x", Coverable: 3}},
+		[]GlitchRow{{Scale: 1, Conv: 2, Prop: 3}},
+	)
+	out := sb.String()
+	for _, want := range []string{"Ablation A", "Ablation B", "Ablation C"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	// Empty inputs render nothing.
+	var sb2 strings.Builder
+	WriteAblation(&sb2, nil, nil, nil)
+	if sb2.String() != "" {
+		t.Fatal("empty ablation rendered output")
+	}
+}
+
+func TestAblateFreeConfig(t *testing.T) {
+	r, err := RunCircuit(mustSpec(t, "s13207"), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := AblateFreeConfig(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	shared, free := rows[0], rows[1]
+	// Frequency selection is restriction-independent.
+	if shared.Freqs != free.Freqs {
+		t.Fatalf("|F| differs: %d vs %d", shared.Freqs, free.Freqs)
+	}
+	// Per-monitor tuning can only reduce the application count.
+	if free.Size > shared.Size {
+		t.Fatalf("free config larger: %d vs %d", free.Size, shared.Size)
+	}
+	var sb strings.Builder
+	WriteFreeConfig(&sb, rows)
+	if !strings.Contains(sb.String(), "Ablation D") {
+		t.Fatal("rendering broken")
+	}
+	WriteFreeConfig(&sb, nil) // no-op
+}

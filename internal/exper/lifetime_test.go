@@ -1,0 +1,47 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"fastmon/internal/aging"
+)
+
+func TestLifetimeSweep(t *testing.T) {
+	spec := mustSpec(t, "s9234")
+	model := aging.Model{A: 0.3, N: 0.3, Seed: 5}
+	pts, err := LifetimeSweep(spec, smallCfg(), model, []float64{0, 5, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Degradation grows the critical path and converts hidden faults into
+	// at-speed-detectable ones monotonically.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CPLGrowthPct < pts[i-1].CPLGrowthPct {
+			t.Fatalf("CPL shrank with age: %+v", pts)
+		}
+		if pts[i].AtSpeed < pts[i-1].AtSpeed {
+			t.Fatalf("at-speed count shrank with age: %+v", pts)
+		}
+	}
+	if pts[0].CPLGrowthPct != 0 {
+		t.Fatalf("fresh device has CPL growth %f", pts[0].CPLGrowthPct)
+	}
+	if pts[2].AtSpeed <= pts[0].AtSpeed {
+		t.Fatalf("aging produced no at-speed faults: %+v", pts)
+	}
+	// Monitors must keep their edge at every age.
+	for _, p := range pts {
+		if p.HDFProp < p.HDFConv {
+			t.Fatalf("prop < conv at year %.0f", p.Years)
+		}
+	}
+	var sb strings.Builder
+	WriteLifetime(&sb, pts)
+	if !strings.Contains(sb.String(), "Lifetime sweep") {
+		t.Fatal("rendering broken")
+	}
+}

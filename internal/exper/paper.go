@@ -1,0 +1,173 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+)
+
+// Reference values transcribed from the paper's evaluation (Tables I–III),
+// used to compare the reproduction's *shape* against the original: who
+// wins, by roughly what factor, where the trends lie. Absolute values
+// differ because the suite substitutes synthetic scaled netlists for the
+// unavailable originals.
+
+// PaperT1 holds Table I: faults detected by conventional FAST (conv.),
+// with programmable monitors (prop.), the relative gain, and the target
+// fault count.
+type PaperT1 struct {
+	Name    string
+	Conv    int
+	Prop    int
+	GainPct float64
+	Target  int
+}
+
+// PaperTableI is the published Table I (columns 6–9).
+var PaperTableI = []PaperT1{
+	{"s9234", 5469, 6135, 12.2, 4655},
+	{"s13207", 3349, 7859, 134.7, 6814},
+	{"s15850", 3541, 8880, 150.8, 8607},
+	{"s35932", 34868, 36129, 3.6, 16211},
+	{"s38417", 25064, 32014, 27.7, 26327},
+	{"s38584", 20348, 31119, 52.9, 29608},
+	{"p35k", 35669, 59759, 67.5, 53592},
+	{"p45k", 48764, 80544, 65.2, 79752},
+	{"p78k", 325682, 337977, 3.8, 245824},
+	{"p89k", 45792, 133175, 190.8, 132503},
+	{"p100k", 111955, 206990, 84.9, 197007},
+	{"p141k", 196491, 297260, 51.3, 290637},
+}
+
+// PaperT2 holds Table II: selected frequency counts per method and the
+// pattern-configuration counts before/after optimization.
+type PaperT2 struct {
+	Name       string
+	ConvF      int
+	HeurF      int
+	PropF      int
+	DeltaFPct  float64
+	Orig       int
+	Opti       int
+	DeltaPCPct float64
+}
+
+// PaperTableII is the published Table II.
+var PaperTableII = []PaperT2{
+	{"s9234", 20, 16, 13, 35.0, 10075, 662, 93.4},
+	{"s13207", 17, 16, 12, 29.4, 11700, 852, 92.7},
+	{"s15850", 24, 25, 22, 8.3, 14740, 949, 93.6},
+	{"s35932", 16, 8, 7, 56.3, 1365, 367, 73.1},
+	{"s38417", 34, 23, 18, 47.1, 11520, 1954, 83.0},
+	{"s38584", 31, 23, 17, 45.2, 13600, 1823, 86.6},
+	{"p35k", 58, 49, 40, 31.0, 303600, 6857, 97.7},
+	{"p45k", 24, 36, 26, -8.3, 353470, 5576, 98.4},
+	{"p78k", 47, 34, 29, 38.3, 10150, 2323, 77.1},
+	{"p89k", 44, 52, 41, 6.8, 203565, 10790, 94.7},
+	{"p100k", 46, 51, 40, 13.0, 526200, 13577, 97.4},
+	{"p141k", 60, 65, 48, 20.0, 197760, 17762, 91.0},
+}
+
+// PaperT3 holds one circuit's Table III row: frequency counts |F_cov| per
+// coverage target (99, 98, 95, 90 %).
+type PaperT3 struct {
+	Name string
+	F    [4]int
+}
+
+// PaperTableIIIFreqs is the published |F_cov| part of Table III.
+var PaperTableIIIFreqs = []PaperT3{
+	{"s9234", [4]int{9, 8, 5, 4}},
+	{"s13207", [4]int{9, 7, 5, 4}},
+	{"s15850", [4]int{13, 10, 7, 5}},
+	{"s35932", [4]int{6, 5, 4, 3}},
+	{"s38417", [4]int{10, 8, 6, 4}},
+	{"s38584", [4]int{9, 7, 5, 3}},
+	{"p35k", [4]int{22, 17, 10, 7}},
+	{"p45k", [4]int{10, 7, 4, 2}},
+	{"p78k", [4]int{6, 5, 3, 2}},
+	{"p89k", [4]int{20, 15, 10, 6}},
+	{"p100k", [4]int{13, 9, 6, 3}},
+	{"p141k", [4]int{20, 15, 9, 5}},
+}
+
+func paperT1(name string) (PaperT1, bool) {
+	for _, r := range PaperTableI {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return PaperT1{}, false
+}
+
+func paperT2(name string) (PaperT2, bool) {
+	for _, r := range PaperTableII {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return PaperT2{}, false
+}
+
+// ShapeChecks compares the measured rows against the paper's qualitative
+// claims and returns human-readable verdicts ("ok ..." / "MISMATCH ...").
+// The comparable properties are: monitors increase HDF detection (T1);
+// the ILP needs no more frequencies than the heuristic (T2); the
+// optimized schedule reduces the naïve pattern-configuration count by a
+// large factor (T2); frequency demand shrinks monotonically with the
+// coverage target (T3).
+func ShapeChecks(t1 []T1Row, t2 []T2Row, t3 []T3Row) []string {
+	var out []string
+	for _, r := range t1 {
+		p, ok := paperT1(r.Name)
+		if !ok {
+			continue
+		}
+		switch {
+		case r.Prop < r.Conv:
+			out = append(out, fmt.Sprintf("MISMATCH %s: monitors reduced detection (%d -> %d)", r.Name, r.Conv, r.Prop))
+		case r.GainPct > 0 == (p.GainPct > 0):
+			out = append(out, fmt.Sprintf("ok %s: monitor gain %+.1f%% (paper %+.1f%%)", r.Name, r.GainPct, p.GainPct))
+		default:
+			out = append(out, fmt.Sprintf("MISMATCH %s: gain sign differs (%+.1f%% vs paper %+.1f%%)", r.Name, r.GainPct, p.GainPct))
+		}
+	}
+	for _, r := range t2 {
+		p, ok := paperT2(r.Name)
+		if !ok {
+			continue
+		}
+		if r.PropF > r.HeurF {
+			out = append(out, fmt.Sprintf("MISMATCH %s: ILP worse than heuristic (%d vs %d)", r.Name, r.PropF, r.HeurF))
+		} else {
+			out = append(out, fmt.Sprintf("ok %s: ILP ≤ heuristic frequencies (%d ≤ %d; paper %d ≤ %d)",
+				r.Name, r.PropF, r.HeurF, p.PropF, p.HeurF))
+		}
+		if r.DeltaPCPct < 50 {
+			out = append(out, fmt.Sprintf("MISMATCH %s: test-time reduction only %.1f%% (paper %.1f%%)", r.Name, r.DeltaPCPct, p.DeltaPCPct))
+		} else {
+			out = append(out, fmt.Sprintf("ok %s: test-time reduction %.1f%% (paper %.1f%%)", r.Name, r.DeltaPCPct, p.DeltaPCPct))
+		}
+	}
+	for _, r := range t3 {
+		mono := true
+		for i := 1; i < len(r.Cells); i++ {
+			if r.Cells[i].F > r.Cells[i-1].F {
+				mono = false
+			}
+		}
+		if mono {
+			out = append(out, fmt.Sprintf("ok %s: |F| monotone over coverage targets", r.Name))
+		} else {
+			out = append(out, fmt.Sprintf("MISMATCH %s: |F| not monotone over coverage targets", r.Name))
+		}
+	}
+	return out
+}
+
+// WriteShapeChecks renders the verdicts.
+func WriteShapeChecks(w io.Writer, checks []string) {
+	fmt.Fprintf(w, "Shape checks against the published tables:\n")
+	for _, c := range checks {
+		fmt.Fprintf(w, "  %s\n", c)
+	}
+}

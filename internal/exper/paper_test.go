@@ -1,0 +1,75 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperTablesComplete(t *testing.T) {
+	if len(PaperTableI) != 12 || len(PaperTableII) != 12 || len(PaperTableIIIFreqs) != 12 {
+		t.Fatal("paper reference tables incomplete")
+	}
+	for _, spec := range PaperSuite {
+		if _, ok := paperT1(spec.Name); !ok {
+			t.Fatalf("T1 reference missing for %s", spec.Name)
+		}
+		if _, ok := paperT2(spec.Name); !ok {
+			t.Fatalf("T2 reference missing for %s", spec.Name)
+		}
+	}
+	if _, ok := paperT1("nope"); ok {
+		t.Fatal("phantom T1 entry")
+	}
+	if _, ok := paperT2("nope"); ok {
+		t.Fatal("phantom T2 entry")
+	}
+	// Internal consistency of the transcription: prop >= conv everywhere,
+	// |F| monotone in Table III.
+	for _, r := range PaperTableI {
+		if r.Prop < r.Conv {
+			t.Fatalf("paper T1 %s: prop < conv?!", r.Name)
+		}
+	}
+	for _, r := range PaperTableIIIFreqs {
+		for i := 1; i < 4; i++ {
+			if r.F[i] > r.F[i-1] {
+				t.Fatalf("paper T3 %s not monotone", r.Name)
+			}
+		}
+	}
+}
+
+func TestShapeChecks(t *testing.T) {
+	t1 := []T1Row{{Name: "s9234", Conv: 100, Prop: 120, GainPct: 20}}
+	t2 := []T2Row{{Name: "s9234", ConvF: 10, HeurF: 8, PropF: 7, DeltaPCPct: 90}}
+	t3 := []T3Row{{Name: "s9234", Cells: []T3Cell{{F: 5}, {F: 4}, {F: 3}, {F: 2}}}}
+	checks := ShapeChecks(t1, t2, t3)
+	if len(checks) == 0 {
+		t.Fatal("no checks produced")
+	}
+	for _, c := range checks {
+		if strings.HasPrefix(c, "MISMATCH") {
+			t.Fatalf("unexpected mismatch: %s", c)
+		}
+	}
+
+	// Broken shapes must be flagged.
+	bad1 := []T1Row{{Name: "s9234", Conv: 120, Prop: 100, GainPct: -16}}
+	bad2 := []T2Row{{Name: "s9234", HeurF: 7, PropF: 9, DeltaPCPct: 10}}
+	bad3 := []T3Row{{Name: "s9234", Cells: []T3Cell{{F: 2}, {F: 4}}}}
+	mismatches := 0
+	for _, c := range ShapeChecks(bad1, bad2, bad3) {
+		if strings.HasPrefix(c, "MISMATCH") {
+			mismatches++
+		}
+	}
+	if mismatches < 3 {
+		t.Fatalf("broken shapes not flagged (%d mismatches)", mismatches)
+	}
+
+	var sb strings.Builder
+	WriteShapeChecks(&sb, checks)
+	if !strings.Contains(sb.String(), "Shape checks") {
+		t.Fatal("rendering broken")
+	}
+}

@@ -1,0 +1,162 @@
+// Package fault defines the small-delay fault model of the paper: a fault
+// φ := (g, δ) is a lumped extra delay δ at a fault site g — a gate input
+// or output pin — separately for slow-to-rise and slow-to-fall behaviour.
+// The package enumerates the fault universe (two faults at every input and
+// output pin of every gate, Sec. V) and performs the structural
+// classification of flow step (1): at-speed detectable faults and
+// timing-redundant faults are removed before expensive fault simulation.
+package fault
+
+import (
+	"fmt"
+
+	"fastmon/internal/circuit"
+	"fastmon/internal/sim"
+	"fastmon/internal/sta"
+	"fastmon/internal/tunit"
+)
+
+// Fault identifies one small delay fault site and polarity. The fault size
+// δ is uniform across the fault list (δ = 6σ in the evaluation), so it is
+// carried separately.
+type Fault struct {
+	Gate   int
+	Pin    int  // input pin index, or -1 for the gate output pin
+	Rising bool // true: slow-to-rise, false: slow-to-fall
+}
+
+// Injection converts the fault to a simulator injection of the given size.
+func (f Fault) Injection(delta tunit.Time) sim.Injection {
+	return sim.Injection{Gate: f.Gate, Pin: f.Pin, Rising: f.Rising, Delta: delta}
+}
+
+// Name renders the fault with circuit names, e.g. "G9/in1/str".
+func (f Fault) Name(c *circuit.Circuit) string {
+	edge := "str"
+	if !f.Rising {
+		edge = "stf"
+	}
+	if f.Pin < 0 {
+		return fmt.Sprintf("%s/out/%s", c.Gates[f.Gate].Name, edge)
+	}
+	return fmt.Sprintf("%s/in%d/%s", c.Gates[f.Gate].Name, f.Pin, edge)
+}
+
+// Universe enumerates the initial fault list: slow-to-rise and slow-to-fall
+// faults at every input pin and every output pin of every combinational
+// gate.
+func Universe(c *circuit.Circuit) []Fault {
+	var out []Fault
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		if g.Kind == circuit.Input || g.Kind == circuit.DFF {
+			continue
+		}
+		for _, rising := range []bool{true, false} {
+			out = append(out, Fault{Gate: id, Pin: -1, Rising: rising})
+		}
+		for p := range g.Fanin {
+			for _, rising := range []bool{true, false} {
+				out = append(out, Fault{Gate: id, Pin: p, Rising: rising})
+			}
+		}
+	}
+	return out
+}
+
+// Class is the structural classification of a fault before simulation.
+type Class uint8
+
+const (
+	// Target faults need FAST frequencies (or monitors) for detection and
+	// proceed to timing-accurate fault simulation.
+	Target Class = iota
+	// AtSpeedDetectable faults have minimum structural slack smaller than
+	// the fault size: an ordinary at-speed test can expose them, so they
+	// are removed from the FAST fault list.
+	AtSpeedDetectable
+	// TimingRedundant faults cannot be observed in the FAST frequency
+	// range at all: even the longest observable path through the site is
+	// so short that the fault effect settles before t_min, and no monitor
+	// can stretch it into the observable window.
+	TimingRedundant
+	// Unobservable faults have no structural path to any observation
+	// point.
+	Unobservable
+)
+
+func (cl Class) String() string {
+	switch cl {
+	case Target:
+		return "target"
+	case AtSpeedDetectable:
+		return "at-speed"
+	case TimingRedundant:
+		return "timing-redundant"
+	case Unobservable:
+		return "unobservable"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(cl))
+}
+
+// ClassifyConfig carries the timing context of the classification.
+type ClassifyConfig struct {
+	Clk   tunit.Time // nominal clock period t_nom
+	TMin  tunit.Time // minimum FAST period 1/f_max
+	Delta tunit.Time // fault size δ
+	// MaxMonitorDelay is the largest delay element configurable in the
+	// monitors (d = ⅓·clk in the paper); it bounds how far fault effects
+	// can be shifted toward the observable range. Zero means no monitors.
+	MaxMonitorDelay tunit.Time
+}
+
+// Classify performs the structural pre-classification of one fault site
+// using static timing analysis. The classification is conservative: only
+// faults that are *provably* at-speed detectable, timing redundant or
+// unobservable are filtered; everything else remains a target for
+// simulation.
+func Classify(f Fault, r *sta.Result, cfg ClassifyConfig) Class {
+	lt := r.LongestThrough(f.Gate)
+	if lt < 0 {
+		return Unobservable
+	}
+	// Minimum slack over all observable paths through the site: a fault
+	// larger than this slack stretches the longest path beyond the clock
+	// and is caught by a plain at-speed test.
+	if cfg.Delta > cfg.Clk-lt {
+		return AtSpeedDetectable
+	}
+	// Even on the longest path the delayed transition settles at
+	// lt + δ. Without monitors it must be observed after t_min; monitors
+	// can shift the observation window down by at most MaxMonitorDelay.
+	if lt+cfg.Delta <= cfg.TMin-cfg.MaxMonitorDelay {
+		return TimingRedundant
+	}
+	return Target
+}
+
+// Partition splits the fault universe by class. The returned map preserves
+// the enumeration order within each class.
+func Partition(faults []Fault, r *sta.Result, cfg ClassifyConfig) map[Class][]Fault {
+	out := map[Class][]Fault{}
+	for _, f := range faults {
+		cl := Classify(f, r, cfg)
+		out[cl] = append(out[cl], f)
+	}
+	return out
+}
+
+// Sample returns a deterministic 1-in-k sample of the fault list (k <= 1
+// returns the list unchanged). Large circuits use fault sampling exactly
+// like the paper's GPU flow used farm-scale parallelism; ratios are
+// preserved because the sample is unbiased across enumeration order.
+func Sample(faults []Fault, k int) []Fault {
+	if k <= 1 {
+		return faults
+	}
+	out := make([]Fault, 0, len(faults)/k+1)
+	for i := 0; i < len(faults); i += k {
+		out = append(out, faults[i])
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"testing"
+
+	"fastmon/internal/cell"
+	"fastmon/internal/circuit"
+	"fastmon/internal/sta"
+	"fastmon/internal/tunit"
+)
+
+func TestUniverseCounts(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	u := Universe(c)
+	// Each combinational gate contributes 2 output faults + 2 per input
+	// pin. s27: 10 gates; pins: 2 NOT (1 pin), 8 two-input gates.
+	wantSites := 10 + 2*1 + 8*2 // 28 sites
+	if len(u) != 2*wantSites {
+		t.Fatalf("universe = %d faults, want %d", len(u), 2*wantSites)
+	}
+	// No faults on PIs or DFFs.
+	for _, f := range u {
+		k := c.Gates[f.Gate].Kind
+		if k == circuit.Input || k == circuit.DFF {
+			t.Fatalf("fault on non-combinational gate %v", f)
+		}
+	}
+	// str/stf pairs at every site.
+	seen := map[Fault]bool{}
+	for _, f := range u {
+		if seen[f] {
+			t.Fatalf("duplicate fault %v", f)
+		}
+		seen[f] = true
+	}
+	for _, f := range u {
+		twin := f
+		twin.Rising = !twin.Rising
+		if !seen[twin] {
+			t.Fatalf("missing polarity twin of %v", f)
+		}
+	}
+}
+
+func TestFaultName(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	g9, _ := c.GateID("G9")
+	f := Fault{Gate: g9, Pin: 1, Rising: true}
+	if got := f.Name(c); got != "G9/in1/str" {
+		t.Fatalf("Name = %q", got)
+	}
+	f2 := Fault{Gate: g9, Pin: -1, Rising: false}
+	if got := f2.Name(c); got != "G9/out/stf" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestInjection(t *testing.T) {
+	f := Fault{Gate: 3, Pin: 2, Rising: true}
+	inj := f.Injection(30)
+	if inj.Gate != 3 || inj.Pin != 2 || !inj.Rising || inj.Delta != 30 {
+		t.Fatalf("Injection = %+v", inj)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	// pi -> 10 inverters -> PO plus a short side branch pi -> b1 -> PO.
+	c := circuit.New("cls")
+	pi := c.AddGate("pi", circuit.Input)
+	prev := pi
+	for i := 0; i < 10; i++ {
+		prev = c.AddGate(string(rune('a'+i))+"inv", circuit.Not, prev)
+	}
+	first, _ := c.GateID("ainv")
+	n3 := prev
+	b1 := c.AddGate("b1", circuit.Buf, pi)
+	dang := c.AddGate("dang", circuit.Not, pi) // unobservable
+	_ = dang
+	c.MarkOutput(n3)
+	c.MarkOutput(b1)
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	a := cell.Annotate(c, cell.NanGate45())
+	r := sta.Analyze(c, a)
+	clk := r.NominalClock(0.05)
+
+	// Large fault on the critical path: at-speed detectable.
+	cfg := ClassifyConfig{Clk: clk, TMin: clk / 3, Delta: clk}
+	if got := Classify(Fault{Gate: n3, Pin: -1, Rising: true}, r, cfg); got != AtSpeedDetectable {
+		t.Fatalf("critical-path large fault = %v", got)
+	}
+	// Tiny fault on the short branch: timing redundant without monitors
+	// (longest path through b1 + δ ends far below t_min).
+	cfg2 := ClassifyConfig{Clk: clk, TMin: clk / 3, Delta: 1}
+	if got := Classify(Fault{Gate: b1, Pin: -1, Rising: true}, r, cfg2); got != TimingRedundant {
+		t.Fatalf("short-branch fault = %v", got)
+	}
+	// With a monitor delay of ⅓·clk the same fault becomes a target.
+	cfg3 := cfg2
+	cfg3.MaxMonitorDelay = clk / 3
+	if got := Classify(Fault{Gate: b1, Pin: -1, Rising: true}, r, cfg3); got != Target {
+		t.Fatalf("short-branch fault with monitors = %v", got)
+	}
+	// Unobservable gate.
+	if got := Classify(Fault{Gate: dang, Pin: -1, Rising: true}, r, cfg2); got != Unobservable {
+		t.Fatalf("dangling fault = %v", got)
+	}
+	// Moderate fault on the long path: target.
+	cfg4 := ClassifyConfig{Clk: clk, TMin: clk / 3, Delta: 5}
+	if got := Classify(Fault{Gate: first, Pin: -1, Rising: true}, r, cfg4); got != Target {
+		t.Fatalf("long-path small fault = %v", got)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	a := cell.Annotate(c, cell.NanGate45())
+	r := sta.Analyze(c, a)
+	clk := r.NominalClock(0.05)
+	u := Universe(c)
+	cfg := ClassifyConfig{Clk: clk, TMin: clk / 3, Delta: a.Lib.FaultSize(), MaxMonitorDelay: clk / 3}
+	parts := Partition(u, r, cfg)
+	total := 0
+	for _, fs := range parts {
+		total += len(fs)
+	}
+	if total != len(u) {
+		t.Fatalf("partition loses faults: %d of %d", total, len(u))
+	}
+	if len(parts[Unobservable]) != 0 {
+		t.Fatal("s27 has no unobservable site")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for cl := Target; cl <= Unobservable; cl++ {
+		if cl.String() == "" {
+			t.Fatalf("class %d has no name", cl)
+		}
+	}
+	if Class(99).String() == "" {
+		t.Fatal("unknown class must still render")
+	}
+}
+
+func TestSample(t *testing.T) {
+	fs := make([]Fault, 10)
+	for i := range fs {
+		fs[i] = Fault{Gate: i}
+	}
+	if got := Sample(fs, 1); len(got) != 10 {
+		t.Fatalf("k=1 sample = %d", len(got))
+	}
+	got := Sample(fs, 3)
+	if len(got) != 4 { // indices 0,3,6,9
+		t.Fatalf("k=3 sample = %d", len(got))
+	}
+	if got[1].Gate != 3 {
+		t.Fatalf("sample not deterministic: %+v", got)
+	}
+	if tunit.Time(0) != 0 {
+		t.Fatal()
+	}
+}

@@ -1,0 +1,400 @@
+package ilp
+
+import (
+	"fmt"
+	"sort"
+
+	"fastmon/internal/bitset"
+)
+
+// CoverResult is the outcome of a covering solve.
+type CoverResult struct {
+	// Selected holds the chosen set indices, ascending.
+	Selected []int
+	// Optimal reports whether optimality was proven (false after a
+	// deadline abort, in which case Selected is the best incumbent).
+	Optimal bool
+	// Nodes counts branch-and-bound nodes.
+	Nodes int
+}
+
+// GreedyCover returns a feasible cover by repeatedly choosing the set with
+// the largest number of still-uncovered elements — the heuristic selection
+// of [17] that the paper's Table II compares against (column "heur.").
+// It panics if the universe is not coverable.
+func GreedyCover(sets []*bitset.Set, universe *bitset.Set) []int {
+	uncovered := universe.Clone()
+	var out []int
+	for !uncovered.Empty() {
+		best, bestGain := -1, 0
+		for i, s := range sets {
+			if g := s.IntersectionCount(uncovered); g > bestGain {
+				best, bestGain = i, g
+			}
+		}
+		if best < 0 {
+			panic("ilp: GreedyCover on uncoverable universe")
+		}
+		out = append(out, best)
+		uncovered.AndNot(sets[best])
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Coverable reports whether the universe is covered by the union of sets.
+func Coverable(sets []*bitset.Set, universe *bitset.Set) bool {
+	u := universe.Clone()
+	for _, s := range sets {
+		u.AndNot(s)
+	}
+	return u.Empty()
+}
+
+// CoverModel builds the paper's zero-one program for a covering instance:
+// minimize Σ x_j subject to Σ_{j covers i} x_j ≥ 1 for every element i of
+// the universe. Exposed so that tests can cross-check the specialized
+// solver against the generic one.
+func CoverModel(sets []*bitset.Set, universe *bitset.Set) *Model {
+	m := NewModel(len(sets))
+	for _, e := range universe.Members(nil) {
+		var vars []int
+		for j, s := range sets {
+			if s.Has(e) {
+				vars = append(vars, j)
+			}
+		}
+		m.AddAtLeastOne(vars)
+	}
+	return m
+}
+
+// SetCover solves minimum set cover exactly by branch-and-bound with
+// covering presolve. It returns an error when the universe is not
+// coverable.
+func SetCover(sets []*bitset.Set, universe *bitset.Set, opts Options) (CoverResult, error) {
+	if !Coverable(sets, universe) {
+		return CoverResult{}, fmt.Errorf("ilp: universe not coverable by the given sets")
+	}
+	res := CoverResult{}
+	uncovered := universe.Clone()
+	alive := make([]bool, len(sets))
+	for i := range alive {
+		alive[i] = true
+	}
+	var chosen []int
+
+	// Presolve loop: essential columns and column dominance.
+	for {
+		changed := false
+		// Essential: an element covered by exactly one alive set forces
+		// that set into the solution.
+		for e := uncovered.NextSet(0); e >= 0; e = uncovered.NextSet(e + 1) {
+			cnt, only := 0, -1
+			for j, s := range sets {
+				if alive[j] && s.Has(e) {
+					cnt++
+					only = j
+					if cnt > 1 {
+						break
+					}
+				}
+			}
+			if cnt == 1 {
+				chosen = append(chosen, only)
+				uncovered.AndNot(sets[only])
+				alive[only] = false
+				changed = true
+				break // uncovered changed; restart scan
+			}
+		}
+		if changed {
+			continue
+		}
+		// Drop sets that no longer help.
+		for j, s := range sets {
+			if alive[j] && s.IntersectionCount(uncovered) == 0 {
+				alive[j] = false
+			}
+		}
+		// Column dominance (bounded effort): a set whose uncovered part
+		// is a subset of another's can be dropped.
+		aliveIdx := aliveList(alive)
+		if len(aliveIdx) <= 1024 {
+			masked := make(map[int]*bitset.Set, len(aliveIdx))
+			for _, j := range aliveIdx {
+				mcopy := sets[j].Clone()
+				mcopy.And(uncovered)
+				masked[j] = mcopy
+			}
+			for _, j := range aliveIdx {
+				if !alive[j] {
+					continue
+				}
+				for _, k := range aliveIdx {
+					if j == k || !alive[k] {
+						continue
+					}
+					if masked[j].SubsetOf(masked[k]) &&
+						(!masked[k].SubsetOf(masked[j]) || j > k) {
+						alive[j] = false
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	if uncovered.Empty() {
+		sort.Ints(chosen)
+		res.Selected, res.Optimal = chosen, true
+		return res, nil
+	}
+
+	aliveIdx := aliveList(alive)
+	sub := make([]*bitset.Set, len(aliveIdx))
+	for i, j := range aliveIdx {
+		s := sets[j].Clone()
+		s.And(uncovered)
+		sub[i] = s
+	}
+	// Element -> covering set indices (into sub), used for branching.
+	elems := uncovered.Members(nil)
+	coverOf := map[int][]int{}
+	for i, s := range sub {
+		for _, e := range s.Members(nil) {
+			coverOf[e] = append(coverOf[e], i)
+		}
+	}
+
+	// Greedy incumbent.
+	incumbent := GreedyCover(sub, uncovered)
+	bestLen := len(incumbent)
+	bestSel := append([]int(nil), incumbent...)
+	proven := true
+
+	// Branch on the element with the fewest covering sets; children try
+	// each covering set in decreasing gain order.
+	cur := make([]int, 0, bestLen)
+	stopped := false
+	var dfs func(unc *bitset.Set)
+	dfs = func(unc *bitset.Set) {
+		if stopped {
+			return
+		}
+		res.Nodes++
+		if res.Nodes%64 == 0 && opts.expired() {
+			proven, stopped = false, true
+			return
+		}
+		if opts.MaxNodes > 0 && res.Nodes > opts.MaxNodes {
+			proven, stopped = false, true
+			return
+		}
+		if unc.Empty() {
+			if len(cur) < bestLen {
+				bestLen = len(cur)
+				bestSel = append(bestSel[:0], cur...)
+			}
+			return
+		}
+		if len(cur)+lowerBound(sub, unc) >= bestLen {
+			return
+		}
+		// Pick the uncovered element with fewest alive covering sets.
+		pickE, pickCnt := -1, 1<<30
+		for _, e := range elems {
+			if !unc.Has(e) {
+				continue
+			}
+			cnt := 0
+			for _, si := range coverOf[e] {
+				if sub[si].IntersectionCount(unc) > 0 {
+					cnt++
+				}
+			}
+			if cnt < pickCnt {
+				pickE, pickCnt = e, cnt
+				if cnt <= 1 {
+					break
+				}
+			}
+		}
+		cands := append([]int(nil), coverOf[pickE]...)
+		sort.Slice(cands, func(a, b int) bool {
+			return sub[cands[a]].IntersectionCount(unc) > sub[cands[b]].IntersectionCount(unc)
+		})
+		for _, si := range cands {
+			next := unc.Clone()
+			next.AndNot(sub[si])
+			cur = append(cur, si)
+			dfs(next)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	dfs(uncovered.Clone())
+
+	sel := append([]int(nil), chosen...)
+	for _, si := range bestSel {
+		sel = append(sel, aliveIdx[si])
+	}
+	sort.Ints(sel)
+	res.Selected = sel
+	res.Optimal = proven
+	return res, nil
+}
+
+// lowerBound returns a valid lower bound on the number of additional sets
+// needed: every uncovered element must pay at least 1/|largest set
+// covering it|, so the sum of these shares rounded up is a bound; the
+// cheaper ⌈uncovered/maxGain⌉ bound is taken when stronger.
+func lowerBound(sub []*bitset.Set, unc *bitset.Set) int {
+	maxGain := 0
+	for _, s := range sub {
+		if g := s.IntersectionCount(unc); g > maxGain {
+			maxGain = g
+		}
+	}
+	if maxGain == 0 {
+		return 1 << 20 // uncoverable remainder: prune hard
+	}
+	u := unc.Count()
+	return (u + maxGain - 1) / maxGain
+}
+
+func aliveList(alive []bool) []int {
+	var out []int
+	for i, a := range alive {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// GreedyPartialCover picks sets by maximum marginal gain until at least
+// quota elements of the universe are covered. It returns an error if the
+// quota exceeds the coverable count.
+func GreedyPartialCover(sets []*bitset.Set, universe *bitset.Set, quota int) ([]int, error) {
+	covered := bitset.New(universe.Len())
+	var out []int
+	for covered.IntersectionCount(universe) < quota {
+		best, bestGain := -1, 0
+		for i, s := range sets {
+			tmp := s.Clone()
+			tmp.And(universe)
+			tmp.AndNot(covered)
+			if g := tmp.Count(); g > bestGain {
+				best, bestGain = i, g
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("ilp: quota %d unreachable (covered %d)", quota, covered.IntersectionCount(universe))
+		}
+		out = append(out, best)
+		covered.Or(sets[best])
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// PartialCover finds a minimum number of sets covering at least quota
+// elements of the universe (the Table III "cov ≥ x%" selection). Solved by
+// include/exclude branch-and-bound with a sum-of-largest-sets bound.
+func PartialCover(sets []*bitset.Set, universe *bitset.Set, quota int, opts Options) (CoverResult, error) {
+	res := CoverResult{}
+	if quota <= 0 {
+		res.Optimal = true
+		return res, nil
+	}
+	incumbent, err := GreedyPartialCover(sets, universe, quota)
+	if err != nil {
+		return CoverResult{}, err
+	}
+	bestLen := len(incumbent)
+	bestSel := append([]int(nil), incumbent...)
+	proven := true
+
+	// Restrict sets to the universe once.
+	sub := make([]*bitset.Set, len(sets))
+	for i, s := range sets {
+		c := s.Clone()
+		c.And(universe)
+		sub[i] = c
+	}
+	// Order sets by decreasing size for the bound and the branching.
+	order := make([]int, len(sub))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return sub[order[a]].Count() > sub[order[b]].Count() })
+
+	cur := make([]int, 0, bestLen)
+	covered := bitset.New(universe.Len())
+	stopped := false
+	var dfs func(pos, coveredCnt int)
+	dfs = func(pos, coveredCnt int) {
+		if stopped {
+			return
+		}
+		res.Nodes++
+		if res.Nodes%64 == 0 && opts.expired() {
+			proven, stopped = false, true
+			return
+		}
+		if opts.MaxNodes > 0 && res.Nodes > opts.MaxNodes {
+			proven, stopped = false, true
+			return
+		}
+		if coveredCnt >= quota {
+			if len(cur) < bestLen {
+				bestLen = len(cur)
+				bestSel = append(bestSel[:0], cur...)
+			}
+			return
+		}
+		if len(cur)+1 >= bestLen { // any completion costs ≥ len(cur)+1
+			return
+		}
+		if pos >= len(order) {
+			return
+		}
+		// Bound: adding the k largest remaining sets gains at most the
+		// sum of their sizes.
+		deficit := quota - coveredCnt
+		gain, need := 0, 0
+		for i := pos; i < len(order) && gain < deficit; i++ {
+			gain += sub[order[i]].Count()
+			need++
+		}
+		if gain < deficit || len(cur)+need >= bestLen {
+			return
+		}
+		si := order[pos]
+		// Include.
+		marginal := sub[si].Count() - sub[si].IntersectionCount(covered)
+		if marginal > 0 {
+			covered.Or(sub[si])
+			cur = append(cur, si)
+			dfs(pos+1, coveredCnt+marginal)
+			cur = cur[:len(cur)-1]
+			// Undo: recompute covered (cheap enough at these depths).
+			covered.Clear()
+			for _, cj := range cur {
+				covered.Or(sub[cj])
+			}
+		}
+		// Exclude.
+		dfs(pos+1, coveredCnt)
+	}
+	dfs(0, 0)
+
+	sort.Ints(bestSel)
+	res.Selected = bestSel
+	res.Optimal = proven
+	return res, nil
+}

@@ -1,0 +1,423 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fastmon/internal/bitset"
+)
+
+func mkset(n int, members ...int) *bitset.Set {
+	s := bitset.New(n)
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+func full(n int) *bitset.Set {
+	s := bitset.New(n)
+	for i := 0; i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}
+
+func TestSolveLPSimple(t *testing.T) {
+	// minimize x0 + x1 s.t. x0 + x1 >= 1: LP optimum 1.
+	m := NewModel(2)
+	m.AddAtLeastOne([]int{0, 1})
+	v, x, st := SolveLP(m, nil)
+	if st != LPOptimal {
+		t.Fatalf("status = %v", st)
+	}
+	if math.Abs(v-1) > 1e-6 {
+		t.Fatalf("LP value = %f, want 1", v)
+	}
+	if math.Abs(x[0]+x[1]-1) > 1e-6 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLPFractional(t *testing.T) {
+	// Odd cycle cover: pairwise constraints force the half-integral LP
+	// optimum 1.5 < integer optimum 2.
+	m := NewModel(3)
+	m.AddAtLeastOne([]int{0, 1})
+	m.AddAtLeastOne([]int{1, 2})
+	m.AddAtLeastOne([]int{0, 2})
+	v, _, st := SolveLP(m, nil)
+	if st != LPOptimal {
+		t.Fatalf("status = %v", st)
+	}
+	if math.Abs(v-1.5) > 1e-6 {
+		t.Fatalf("LP value = %f, want 1.5", v)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	// x0 >= 1 and x0 <= 0 conflict... model via LE/GE on the same var.
+	m := NewModel(1)
+	m.Add([]Term{{Var: 0, Coef: 1}}, GE, 1)
+	m.Add([]Term{{Var: 0, Coef: 1}}, LE, 0)
+	if _, _, st := SolveLP(m, nil); st != LPInfeasible {
+		t.Fatalf("status = %v, want infeasible", st)
+	}
+	// Unsatisfiable within bounds: x0 >= 2 with x0 <= 1.
+	m2 := NewModel(1)
+	m2.Add([]Term{{Var: 0, Coef: 1}}, GE, 2)
+	if _, _, st := SolveLP(m2, nil); st != LPInfeasible {
+		t.Fatalf("status = %v, want infeasible (bound)", st)
+	}
+}
+
+func TestSolveLPEquality(t *testing.T) {
+	// x0 + x1 = 1, minimize 2·x0 + x1 → x1 = 1.
+	m := NewModel(2)
+	m.Obj = []float64{2, 1}
+	m.Add([]Term{{0, 1}, {1, 1}}, EQ, 1)
+	v, x, st := SolveLP(m, nil)
+	if st != LPOptimal || math.Abs(v-1) > 1e-6 || math.Abs(x[1]-1) > 1e-6 {
+		t.Fatalf("v=%f x=%v st=%v", v, x, st)
+	}
+}
+
+func TestSolveLPWithFixed(t *testing.T) {
+	m := NewModel(2)
+	m.AddAtLeastOne([]int{0, 1})
+	fixed := []int8{0, -1} // x0 = 0 → x1 must be 1
+	v, x, st := SolveLP(m, fixed)
+	if st != LPOptimal || math.Abs(v-1) > 1e-6 || math.Abs(x[1]-1) > 1e-6 {
+		t.Fatalf("v=%f x=%v st=%v", v, x, st)
+	}
+	fixed = []int8{1, -1} // x0 = 1 → x1 free at 0
+	v, x, st = SolveLP(m, fixed)
+	if st != LPOptimal || math.Abs(v-1) > 1e-6 || x[0] != 1 {
+		t.Fatalf("v=%f x=%v st=%v", v, x, st)
+	}
+}
+
+func TestSolveGenericOddCycle(t *testing.T) {
+	m := NewModel(3)
+	m.AddAtLeastOne([]int{0, 1})
+	m.AddAtLeastOne([]int{1, 2})
+	m.AddAtLeastOne([]int{0, 2})
+	sol := Solve(m, Options{})
+	if !sol.Found || !sol.Optimal {
+		t.Fatalf("sol = %+v", sol)
+	}
+	if sol.Value != 2 {
+		t.Fatalf("integer optimum = %f, want 2", sol.Value)
+	}
+	if !m.Feasible(sol.X) {
+		t.Fatal("solution infeasible")
+	}
+}
+
+func TestSolveGenericWithLEConstraint(t *testing.T) {
+	// Partial-cover-shaped model: y_i ≤ Σ covering x_j, Σ y_i ≥ 1.
+	// 2 sets, 2 elements; covering either element suffices.
+	m := NewModel(4) // x0,x1 sets; y0,y1 elements
+	m.Obj = []float64{1, 1, 0, 0}
+	m.Add([]Term{{2, 1}, {0, -1}}, LE, 0) // y0 ≤ x0
+	m.Add([]Term{{3, 1}, {1, -1}}, LE, 0) // y1 ≤ x1
+	m.Add([]Term{{2, 1}, {3, 1}}, GE, 1)  // cover at least one element
+	sol := Solve(m, Options{})
+	if !sol.Found || sol.Value != 1 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+// bruteForceCover finds the true minimum cover size by enumeration.
+func bruteForceCover(sets []*bitset.Set, universe *bitset.Set) int {
+	n := len(sets)
+	best := n + 1
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		u := universe.Clone()
+		cnt := 0
+		for j := 0; j < n; j++ {
+			if mask>>uint(j)&1 == 1 {
+				u.AndNot(sets[j])
+				cnt++
+			}
+		}
+		if u.Empty() && cnt < best {
+			best = cnt
+		}
+	}
+	return best
+}
+
+func TestSetCoverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		nElem := 4 + rng.Intn(10)
+		nSets := 3 + rng.Intn(9)
+		sets := make([]*bitset.Set, nSets)
+		for i := range sets {
+			s := bitset.New(nElem)
+			for e := 0; e < nElem; e++ {
+				if rng.Float64() < 0.35 {
+					s.Add(e)
+				}
+			}
+			sets[i] = s
+		}
+		universe := full(nElem)
+		if !Coverable(sets, universe) {
+			continue
+		}
+		res, err := SetCover(sets, universe, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			t.Fatalf("trial %d: not proven optimal", trial)
+		}
+		want := bruteForceCover(sets, universe)
+		if len(res.Selected) != want {
+			t.Fatalf("trial %d: got %d sets, brute force %d", trial, len(res.Selected), want)
+		}
+		// Returned selection must actually cover.
+		u := universe.Clone()
+		for _, j := range res.Selected {
+			u.AndNot(sets[j])
+		}
+		if !u.Empty() {
+			t.Fatalf("trial %d: selection does not cover", trial)
+		}
+		// Greedy is never better than the optimum.
+		if g := GreedyCover(sets, universe); len(g) < want {
+			t.Fatalf("trial %d: greedy beat the optimum?!", trial)
+		}
+		// Cross-check with the generic ILP solver on the paper's model.
+		model := CoverModel(sets, universe)
+		sol := Solve(model, Options{})
+		if !sol.Found || int(sol.Value+0.5) != want {
+			t.Fatalf("trial %d: generic ILP got %f, want %d", trial, sol.Value, want)
+		}
+	}
+}
+
+func TestSetCoverUncoverable(t *testing.T) {
+	sets := []*bitset.Set{mkset(3, 0), mkset(3, 1)}
+	if _, err := SetCover(sets, full(3), Options{}); err == nil {
+		t.Fatal("expected error for uncoverable universe")
+	}
+}
+
+func TestSetCoverEmptyUniverse(t *testing.T) {
+	sets := []*bitset.Set{mkset(3, 0)}
+	res, err := SetCover(sets, bitset.New(3), Options{})
+	if err != nil || len(res.Selected) != 0 || !res.Optimal {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestSetCoverDeadline(t *testing.T) {
+	// A large random instance with an expired deadline must still return
+	// a feasible (greedy) incumbent.
+	rng := rand.New(rand.NewSource(3))
+	nElem, nSets := 400, 80
+	sets := make([]*bitset.Set, nSets)
+	for i := range sets {
+		s := bitset.New(nElem)
+		for e := 0; e < nElem; e++ {
+			if rng.Float64() < 0.08 {
+				s.Add(e)
+			}
+		}
+		sets[i] = s
+	}
+	universe := bitset.New(nElem)
+	for _, s := range sets {
+		universe.Or(s)
+	}
+	res, err := SetCover(sets, universe, Options{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := universe.Clone()
+	for _, j := range res.Selected {
+		u.AndNot(sets[j])
+	}
+	if !u.Empty() {
+		t.Fatal("deadline incumbent does not cover")
+	}
+}
+
+// bruteForcePartial finds the true minimum number of sets covering ≥ quota.
+func bruteForcePartial(sets []*bitset.Set, universe *bitset.Set, quota int) int {
+	n := len(sets)
+	best := n + 1
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		cov := bitset.New(universe.Len())
+		cnt := 0
+		for j := 0; j < n; j++ {
+			if mask>>uint(j)&1 == 1 {
+				cov.Or(sets[j])
+				cnt++
+			}
+		}
+		if cov.IntersectionCount(universe) >= quota && cnt < best {
+			best = cnt
+		}
+	}
+	return best
+}
+
+func TestPartialCoverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		nElem := 5 + rng.Intn(8)
+		nSets := 3 + rng.Intn(8)
+		sets := make([]*bitset.Set, nSets)
+		for i := range sets {
+			s := bitset.New(nElem)
+			for e := 0; e < nElem; e++ {
+				if rng.Float64() < 0.4 {
+					s.Add(e)
+				}
+			}
+			sets[i] = s
+		}
+		universe := full(nElem)
+		coverable := bitset.New(nElem)
+		for _, s := range sets {
+			coverable.Or(s)
+		}
+		maxCov := coverable.Count()
+		if maxCov == 0 {
+			continue
+		}
+		quota := 1 + rng.Intn(maxCov)
+		res, err := PartialCover(sets, universe, quota, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForcePartial(sets, universe, quota)
+		if len(res.Selected) != want {
+			t.Fatalf("trial %d: got %d, brute force %d (quota %d)", trial, len(res.Selected), want, quota)
+		}
+		cov := bitset.New(nElem)
+		for _, j := range res.Selected {
+			cov.Or(sets[j])
+		}
+		if cov.IntersectionCount(universe) < quota {
+			t.Fatalf("trial %d: quota missed", trial)
+		}
+	}
+}
+
+func TestPartialCoverQuotaUnreachable(t *testing.T) {
+	sets := []*bitset.Set{mkset(4, 0, 1)}
+	if _, err := PartialCover(sets, full(4), 3, Options{}); err == nil {
+		t.Fatal("expected unreachable-quota error")
+	}
+	res, err := PartialCover(sets, full(4), 0, Options{})
+	if err != nil || len(res.Selected) != 0 {
+		t.Fatalf("quota 0: %+v %v", res, err)
+	}
+}
+
+func TestModelValidateAndFeasible(t *testing.T) {
+	m := NewModel(2)
+	m.Add([]Term{{Var: 5, Coef: 1}}, GE, 1)
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+	m2 := NewModel(2)
+	m2.AddAtLeastOne([]int{0, 1})
+	if m2.Feasible([]bool{false, false}) {
+		t.Fatal("infeasible assignment accepted")
+	}
+	if !m2.Feasible([]bool{true, false}) {
+		t.Fatal("feasible assignment rejected")
+	}
+	if m2.Value([]bool{true, true}) != 2 {
+		t.Fatal("value wrong")
+	}
+	if GE.String() != ">=" || LE.String() != "<=" || EQ.String() != "=" || Op(9).String() != "?" {
+		t.Fatal("Op strings")
+	}
+}
+
+func TestGreedyCoverPanicsUncoverable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GreedyCover([]*bitset.Set{mkset(2, 0)}, full(2))
+}
+
+func TestSolveLPTooLargeFallsBackToDFS(t *testing.T) {
+	// A model exceeding the dense-tableau guard: Solve must still find
+	// the optimum via plain DFS. 20 variables with 1500 duplicated
+	// singleton cover constraints blow past lpMaxCells while keeping the
+	// DFS tractable (all variables forced to 1).
+	n := 20
+	m := NewModel(n)
+	for r := 0; r < 1500; r++ {
+		m.AddAtLeastOne([]int{r % n})
+	}
+	if _, _, st := SolveLP(m, nil); st != LPTooLarge {
+		t.Fatalf("instance unexpectedly fits the tableau (status %v)", st)
+	}
+	// The 1-first DFS finds the all-ones optimum immediately; cap the
+	// exhaustive 0-branch exploration (2^20 leaves) with a node budget.
+	sol := Solve(m, Options{MaxNodes: 50000})
+	if !sol.Found || sol.Value != float64(n) {
+		t.Fatalf("DFS fallback sol = %+v", sol)
+	}
+	if !m.Feasible(sol.X) {
+		t.Fatal("DFS solution infeasible")
+	}
+}
+
+func TestSolveMaxNodesIncumbent(t *testing.T) {
+	m := NewModel(6)
+	m.AddAtLeastOne([]int{0, 1})
+	m.AddAtLeastOne([]int{2, 3})
+	m.AddAtLeastOne([]int{4, 5})
+	sol := Solve(m, Options{})
+	if !sol.Found || sol.Value != 3 || !sol.Optimal {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestPartialCoverDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	nElem, nSets := 300, 60
+	sets := make([]*bitset.Set, nSets)
+	for i := range sets {
+		s := bitset.New(nElem)
+		for e := 0; e < nElem; e++ {
+			if rng.Float64() < 0.1 {
+				s.Add(e)
+			}
+		}
+		sets[i] = s
+	}
+	universe := bitset.New(nElem)
+	for _, s := range sets {
+		universe.Or(s)
+	}
+	quota := universe.Count() * 9 / 10
+	res, err := PartialCover(sets, universe, quota, Options{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := bitset.New(nElem)
+	for _, j := range res.Selected {
+		cov.Or(sets[j])
+	}
+	if cov.IntersectionCount(universe) < quota {
+		t.Fatal("deadline incumbent misses quota")
+	}
+	if res.Optimal {
+		t.Fatal("expired deadline must not claim optimality")
+	}
+}

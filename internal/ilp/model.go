@@ -1,0 +1,137 @@
+// Package ilp provides the zero-one linear programming machinery of the
+// test-schedule optimization (Sec. IV-C): a generic binary model with a
+// branch-and-bound solver bounded by a dense two-phase simplex LP
+// relaxation, plus specialized exact set-covering and partial-covering
+// solvers with presolve (essential columns, column dominance), greedy
+// incumbents and deadline support — the stand-in for the commercial ILP
+// tool the paper aborts after a 1-hour timeout.
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparator.
+type Op int8
+
+const (
+	// GE is Σ aᵢxᵢ ≥ b.
+	GE Op = iota
+	// LE is Σ aᵢxᵢ ≤ b.
+	LE
+	// EQ is Σ aᵢxᵢ = b.
+	EQ
+)
+
+func (o Op) String() string {
+	switch o {
+	case GE:
+		return ">="
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Term is one sparse constraint entry.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is Σ Terms Op RHS.
+type Constraint struct {
+	Terms []Term
+	Op    Op
+	RHS   float64
+}
+
+// Model is a 0-1 integer linear program: minimize Obj·x subject to the
+// constraints, x ∈ {0,1}ⁿ.
+type Model struct {
+	Obj  []float64
+	Cons []Constraint
+}
+
+// NewModel returns a model with n binary variables and unit objective
+// coefficients (the paper's objectives count selected items).
+func NewModel(n int) *Model {
+	obj := make([]float64, n)
+	for i := range obj {
+		obj[i] = 1
+	}
+	return &Model{Obj: obj}
+}
+
+// NumVars returns the number of binary variables.
+func (m *Model) NumVars() int { return len(m.Obj) }
+
+// Add appends a constraint.
+func (m *Model) Add(terms []Term, op Op, rhs float64) {
+	m.Cons = append(m.Cons, Constraint{Terms: terms, Op: op, RHS: rhs})
+}
+
+// AddAtLeastOne appends the covering constraint Σ_{v∈vars} x_v ≥ 1 — the
+// per-fault constraint of both optimization steps.
+func (m *Model) AddAtLeastOne(vars []int) {
+	terms := make([]Term, len(vars))
+	for i, v := range vars {
+		terms[i] = Term{Var: v, Coef: 1}
+	}
+	m.Add(terms, GE, 1)
+}
+
+// Validate checks variable indices.
+func (m *Model) Validate() error {
+	n := m.NumVars()
+	for ci, c := range m.Cons {
+		for _, t := range c.Terms {
+			if t.Var < 0 || t.Var >= n {
+				return fmt.Errorf("ilp: constraint %d references variable %d of %d", ci, t.Var, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Value evaluates the objective for an assignment.
+func (m *Model) Value(x []bool) float64 {
+	v := 0.0
+	for i, b := range x {
+		if b {
+			v += m.Obj[i]
+		}
+	}
+	return v
+}
+
+// Feasible reports whether the assignment satisfies every constraint.
+func (m *Model) Feasible(x []bool) bool {
+	const eps = 1e-9
+	for _, c := range m.Cons {
+		s := 0.0
+		for _, t := range c.Terms {
+			if x[t.Var] {
+				s += t.Coef
+			}
+		}
+		switch c.Op {
+		case GE:
+			if s < c.RHS-eps {
+				return false
+			}
+		case LE:
+			if s > c.RHS+eps {
+				return false
+			}
+		case EQ:
+			if math.Abs(s-c.RHS) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}

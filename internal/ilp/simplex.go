@@ -1,0 +1,271 @@
+package ilp
+
+import (
+	"math"
+)
+
+// LPStatus is the outcome of an LP solve.
+type LPStatus int8
+
+const (
+	// LPOptimal: an optimal basic solution was found.
+	LPOptimal LPStatus = iota
+	// LPInfeasible: the constraints admit no solution in [0,1]ⁿ.
+	LPInfeasible
+	// LPTooLarge: the instance exceeds the dense-tableau size guard.
+	LPTooLarge
+)
+
+// lpMaxCells guards the dense tableau size (rows × cols).
+const lpMaxCells = 4 << 20
+
+// SolveLP solves the LP relaxation of the model: minimize Obj·x subject to
+// the constraints and 0 ≤ x ≤ 1, using a dense two-phase primal simplex
+// with Bland's rule (no cycling). It returns the optimal objective value
+// and a solution vector.
+//
+// The relaxation bound is what makes branch-and-bound prune: any integer
+// solution costs at least the LP optimum.
+func SolveLP(m *Model, fixed []int8) (float64, []float64, LPStatus) {
+	n := m.NumVars()
+	// Rows: one per constraint plus one upper bound x ≤ 1 per free
+	// variable. Fixed variables (fixed[i] = 0 or 1) are substituted out.
+	freeIdx := make([]int, 0, n)
+	colOf := make([]int, n)
+	for i := range colOf {
+		colOf[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if fixed == nil || fixed[i] < 0 {
+			colOf[i] = len(freeIdx)
+			freeIdx = append(freeIdx, i)
+		}
+	}
+	nf := len(freeIdx)
+
+	type row struct {
+		a   []float64
+		op  Op
+		rhs float64
+	}
+	rows := make([]row, 0, len(m.Cons)+nf)
+	for _, c := range m.Cons {
+		r := row{a: make([]float64, nf), op: c.Op, rhs: c.RHS}
+		for _, t := range c.Terms {
+			if colOf[t.Var] >= 0 {
+				r.a[colOf[t.Var]] += t.Coef
+			} else if fixed[t.Var] == 1 {
+				r.rhs -= t.Coef
+			}
+		}
+		rows = append(rows, r)
+	}
+	for j := 0; j < nf; j++ {
+		r := row{a: make([]float64, nf), op: LE, rhs: 1}
+		r.a[j] = 1
+		rows = append(rows, r)
+	}
+	mRows := len(rows)
+
+	// Columns: nf structural + one slack/surplus per inequality + one
+	// artificial per row needing one.
+	nSlack := 0
+	for _, r := range rows {
+		if r.op != EQ {
+			nSlack++
+		}
+	}
+	total := nf + nSlack + mRows // upper bound incl. artificials
+	if (mRows+2)*(total+1) > lpMaxCells {
+		return 0, nil, LPTooLarge
+	}
+
+	// Build tableau: rows 0..m-1 constraints, row m = phase-2 objective,
+	// row m+1 = phase-1 objective.
+	cols := total + 1
+	t := make([][]float64, mRows+2)
+	for i := range t {
+		t[i] = make([]float64, cols)
+	}
+	basis := make([]int, mRows)
+	slackCol := nf
+	artCol := nf + nSlack
+	nArt := 0
+	for i, r := range rows {
+		rhs := r.rhs
+		a := append([]float64(nil), r.a...)
+		if rhs < 0 {
+			rhs = -rhs
+			for j := range a {
+				a[j] = -a[j]
+			}
+			switch r.op {
+			case GE:
+				r.op = LE
+			case LE:
+				r.op = GE
+			}
+		}
+		copy(t[i], a)
+		t[i][total] = rhs
+		switch r.op {
+		case LE:
+			t[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			t[i][slackCol] = -1
+			slackCol++
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+			nArt++
+		case EQ:
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+			nArt++
+		}
+	}
+
+	// Phase-1 objective: minimize the sum of artificials. The cost row
+	// starts with coefficient 1 on every artificial column, then the
+	// basic (artificial) rows are subtracted to express it in non-basic
+	// variables.
+	p1 := mRows + 1
+	for col := nf + nSlack; col < nf+nSlack+nArt; col++ {
+		t[p1][col] = 1
+	}
+	for i := 0; i < mRows; i++ {
+		if basis[i] >= nf+nSlack {
+			for j := 0; j < cols; j++ {
+				t[p1][j] -= t[i][j]
+			}
+		}
+	}
+	// Phase-2 objective row (minimization: store -c and maximize).
+	p2 := mRows
+	for j, vi := range freeIdx {
+		t[p2][j] = m.Obj[vi]
+	}
+
+	pivot := func(objRow, limCol int) bool {
+		const eps = 1e-9
+		for iter := 0; iter < 20000; iter++ {
+			// Bland: entering = lowest-index column with negative reduced
+			// cost in the objective row.
+			enter := -1
+			for j := 0; j < limCol; j++ {
+				if t[objRow][j] < -eps {
+					enter = j
+					break
+				}
+			}
+			if enter < 0 {
+				return true
+			}
+			// Ratio test.
+			leave, best := -1, math.Inf(1)
+			for i := 0; i < mRows; i++ {
+				if t[i][enter] > eps {
+					ratio := t[i][total] / t[i][enter]
+					if ratio < best-eps || (math.Abs(ratio-best) <= eps && (leave < 0 || basis[i] < basis[leave])) {
+						best, leave = ratio, i
+					}
+				}
+			}
+			if leave < 0 {
+				return false // unbounded (cannot happen with x ≤ 1 bounds)
+			}
+			// Pivot on (leave, enter).
+			pv := t[leave][enter]
+			for j := 0; j < cols; j++ {
+				t[leave][j] /= pv
+			}
+			for i := range t {
+				if i == leave {
+					continue
+				}
+				f := t[i][enter]
+				if f == 0 {
+					continue
+				}
+				for j := 0; j < cols; j++ {
+					t[i][j] -= f * t[leave][j]
+				}
+			}
+			basis[leave] = enter
+		}
+		return false
+	}
+
+	if nArt > 0 {
+		if !pivot(p1, nf+nSlack+nArt) {
+			return 0, nil, LPInfeasible
+		}
+		if t[p1][total] < -1e-7 {
+			return 0, nil, LPInfeasible
+		}
+		// Drive any remaining basic artificials out where possible; rows
+		// with an artificial basis and no pivotable column are redundant.
+		for i := 0; i < mRows; i++ {
+			if basis[i] < nf+nSlack {
+				continue
+			}
+			for j := 0; j < nf+nSlack; j++ {
+				if math.Abs(t[i][j]) > 1e-9 {
+					pv := t[i][j]
+					for k := 0; k < cols; k++ {
+						t[i][k] /= pv
+					}
+					for r := range t {
+						if r == i {
+							continue
+						}
+						f := t[r][j]
+						if f != 0 {
+							for k := 0; k < cols; k++ {
+								t[r][k] -= f * t[i][k]
+							}
+						}
+					}
+					basis[i] = j
+					break
+				}
+			}
+		}
+	}
+	// Phase 2: zero out reduced costs of basic variables first.
+	for i := 0; i < mRows; i++ {
+		if basis[i] < nf+nSlack {
+			f := t[p2][basis[i]]
+			if f != 0 {
+				for j := 0; j < cols; j++ {
+					t[p2][j] -= f * t[i][j]
+				}
+			}
+		}
+	}
+	if !pivot(p2, nf+nSlack) {
+		return 0, nil, LPInfeasible
+	}
+
+	x := make([]float64, n)
+	if fixed != nil {
+		for i := range x {
+			if fixed[i] == 1 {
+				x[i] = 1
+			}
+		}
+	}
+	for i := 0; i < mRows; i++ {
+		if basis[i] < nf {
+			x[freeIdx[basis[i]]] = t[i][total]
+		}
+	}
+	obj := 0.0
+	for i := range x {
+		obj += m.Obj[i] * x[i]
+	}
+	return obj, x, LPOptimal
+}

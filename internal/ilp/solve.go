@@ -1,0 +1,150 @@
+package ilp
+
+import (
+	"math"
+	"time"
+)
+
+// Options controls the solvers.
+type Options struct {
+	// Deadline aborts the search and returns the best incumbent found so
+	// far (Optimal=false), mirroring the paper's 1-hour solver timeout.
+	// The zero value means no deadline.
+	Deadline time.Time
+	// MaxNodes bounds the branch-and-bound tree (0 = unlimited).
+	MaxNodes int
+}
+
+func (o Options) expired() bool {
+	return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	X       []bool
+	Value   float64
+	Optimal bool // proven optimal
+	Nodes   int  // branch-and-bound nodes expanded
+	Found   bool // a feasible solution exists in X
+}
+
+// Solve runs branch-and-bound on a generic 0-1 model. The LP relaxation
+// (when the instance fits the dense simplex) provides bounds and the
+// branching variable; otherwise the search degrades to plain DFS with
+// cost-based pruning. Intended for the moderate-size models the scheduler
+// produces per frequency; the covering fast path lives in SetCover.
+func Solve(m *Model, opts Options) Solution {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	n := m.NumVars()
+	sol := Solution{Value: math.Inf(1)}
+	fixed := make([]int8, n)
+	for i := range fixed {
+		fixed[i] = -1
+	}
+
+	stopped := false
+	var rec func(cost float64)
+	rec = func(cost float64) {
+		if stopped {
+			return
+		}
+		if sol.Nodes++; opts.MaxNodes > 0 && sol.Nodes > opts.MaxNodes {
+			stopped = true
+			return
+		}
+		if sol.Nodes%64 == 0 && opts.expired() {
+			stopped = true
+			return
+		}
+		if cost >= sol.Value {
+			return
+		}
+		lpVal, lpX, status := SolveLP(m, fixed)
+		switch status {
+		case LPInfeasible:
+			return
+		case LPOptimal:
+			if lpVal >= sol.Value-1e-9 {
+				return
+			}
+			// Integral LP solution: accept directly.
+			frac, fracAmt := -1, 0.0
+			for i := 0; i < n; i++ {
+				if fixed[i] >= 0 {
+					continue
+				}
+				f := math.Abs(lpX[i] - math.Round(lpX[i]))
+				if f > fracAmt {
+					frac, fracAmt = i, f
+				}
+			}
+			if frac < 0 || fracAmt < 1e-7 {
+				x := make([]bool, n)
+				for i := 0; i < n; i++ {
+					if fixed[i] == 1 || (fixed[i] < 0 && lpX[i] > 0.5) {
+						x[i] = true
+					}
+				}
+				if m.Feasible(x) {
+					v := m.Value(x)
+					if v < sol.Value {
+						sol.Value, sol.X, sol.Found = v, x, true
+					}
+					return
+				}
+				// Rounding broke feasibility (degenerate): fall through to
+				// branching on the first free variable.
+				frac = firstFree(fixed)
+				if frac < 0 {
+					return
+				}
+			}
+			// Branch on the most fractional variable, 1 first (covering
+			// problems benefit from optimistic inclusion).
+			for _, v := range []int8{1, 0} {
+				fixed[frac] = v
+				rec(cost + float64(v)*m.Obj[frac])
+				fixed[frac] = -1
+			}
+			return
+		case LPTooLarge:
+			// No relaxation available: plain DFS.
+			i := firstFree(fixed)
+			if i < 0 {
+				x := make([]bool, n)
+				for j := range x {
+					x[j] = fixed[j] == 1
+				}
+				if m.Feasible(x) {
+					if v := m.Value(x); v < sol.Value {
+						sol.Value, sol.X, sol.Found = v, x, true
+					}
+				}
+				return
+			}
+			for _, v := range []int8{1, 0} {
+				fixed[i] = v
+				rec(cost + float64(v)*m.Obj[i])
+				fixed[i] = -1
+			}
+			return
+		}
+	}
+	rec(0)
+	sol.Optimal = sol.Found && !stopped
+	if !sol.Found {
+		sol.Value = math.Inf(1)
+	}
+	return sol
+}
+
+func firstFree(fixed []int8) int {
+	for i, f := range fixed {
+		if f < 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,314 @@
+// Package interval implements the half-open interval-set algebra that
+// detection ranges are built from.
+//
+// A detection range I(φ,P) is "usually not a contiguous range, but a union
+// of intervals" (paper, Def. 2). This package represents such a union as a
+// canonical Set: a sorted slice of disjoint, non-empty, non-adjacent
+// half-open intervals [Lo,Hi). All operations preserve canonical form, so
+// equality of detection ranges is plain structural equality.
+package interval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastmon/internal/tunit"
+)
+
+// Interval is the half-open range [Lo, Hi). It is non-empty iff Lo < Hi.
+type Interval struct {
+	Lo, Hi tunit.Time
+}
+
+// Empty reports whether iv contains no points.
+func (iv Interval) Empty() bool { return iv.Lo >= iv.Hi }
+
+// Len returns the measure Hi-Lo of the interval (0 if empty).
+func (iv Interval) Len() tunit.Time {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Contains reports whether t lies in [Lo, Hi).
+func (iv Interval) Contains(t tunit.Time) bool { return t >= iv.Lo && t < iv.Hi }
+
+// Mid returns the midpoint of the interval, rounded down.
+func (iv Interval) Mid() tunit.Time { return iv.Lo + (iv.Hi-iv.Lo)/2 }
+
+// Overlaps reports whether iv and o share at least one point.
+func (iv Interval) Overlaps(o Interval) bool {
+	return !iv.Empty() && !o.Empty() && iv.Lo < o.Hi && o.Lo < iv.Hi
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s,%s)", iv.Lo, iv.Hi)
+}
+
+// Set is a canonical union of intervals: sorted by Lo, pairwise disjoint,
+// non-empty, and non-adjacent (gaps are strictly positive). The zero value
+// is the empty set.
+type Set struct {
+	ivs []Interval
+}
+
+// New builds a canonical Set from arbitrary (possibly overlapping, empty or
+// unsorted) intervals.
+func New(ivs ...Interval) Set {
+	s := Set{}
+	if len(ivs) == 0 {
+		return s
+	}
+	tmp := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if !iv.Empty() {
+			tmp = append(tmp, iv)
+		}
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].Lo < tmp[j].Lo })
+	for _, iv := range tmp {
+		n := len(s.ivs)
+		if n > 0 && iv.Lo <= s.ivs[n-1].Hi {
+			if iv.Hi > s.ivs[n-1].Hi {
+				s.ivs[n-1].Hi = iv.Hi
+			}
+			continue
+		}
+		s.ivs = append(s.ivs, iv)
+	}
+	return s
+}
+
+// FromPoints builds the set from an alternating boundary list
+// lo1,hi1,lo2,hi2,... — a convenience for tests and table-driven data.
+func FromPoints(pts ...tunit.Time) Set {
+	if len(pts)%2 != 0 {
+		panic("interval.FromPoints: odd number of boundaries")
+	}
+	ivs := make([]Interval, 0, len(pts)/2)
+	for i := 0; i < len(pts); i += 2 {
+		ivs = append(ivs, Interval{pts[i], pts[i+1]})
+	}
+	return New(ivs...)
+}
+
+// Empty reports whether the set contains no points.
+func (s Set) Empty() bool { return len(s.ivs) == 0 }
+
+// Count returns the number of maximal intervals.
+func (s Set) Count() int { return len(s.ivs) }
+
+// Intervals returns the canonical intervals. The returned slice must not be
+// modified.
+func (s Set) Intervals() []Interval { return s.ivs }
+
+// Measure returns the total length of the set.
+func (s Set) Measure() tunit.Time {
+	var m tunit.Time
+	for _, iv := range s.ivs {
+		m += iv.Len()
+	}
+	return m
+}
+
+// Contains reports whether t is a member of the set.
+func (s Set) Contains(t tunit.Time) bool {
+	// Binary search for the first interval with Hi > t.
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi > t })
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
+}
+
+// Min returns the infimum of the set. It panics on the empty set.
+func (s Set) Min() tunit.Time {
+	if s.Empty() {
+		panic("interval: Min of empty set")
+	}
+	return s.ivs[0].Lo
+}
+
+// Max returns the supremum of the set. It panics on the empty set.
+func (s Set) Max() tunit.Time {
+	if s.Empty() {
+		panic("interval: Max of empty set")
+	}
+	return s.ivs[len(s.ivs)-1].Hi
+}
+
+// Union returns s ∪ o.
+func (s Set) Union(o Set) Set {
+	if s.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return s
+	}
+	merged := make([]Interval, 0, len(s.ivs)+len(o.ivs))
+	merged = append(merged, s.ivs...)
+	merged = append(merged, o.ivs...)
+	return New(merged...)
+}
+
+// Intersect returns s ∩ o.
+func (s Set) Intersect(o Set) Set {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(o.ivs) {
+		a, b := s.ivs[i], o.ivs[j]
+		lo := tunit.Max(a.Lo, b.Lo)
+		hi := tunit.Min(a.Hi, b.Hi)
+		if lo < hi {
+			out = append(out, Interval{lo, hi})
+		}
+		if a.Hi < b.Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Set{ivs: out}
+}
+
+// Subtract returns s \ o.
+func (s Set) Subtract(o Set) Set {
+	if s.Empty() || o.Empty() {
+		return s
+	}
+	var out []Interval
+	j := 0
+	for _, a := range s.ivs {
+		lo := a.Lo
+		for j < len(o.ivs) && o.ivs[j].Hi <= lo {
+			j++
+		}
+		k := j
+		for k < len(o.ivs) && o.ivs[k].Lo < a.Hi {
+			b := o.ivs[k]
+			if b.Lo > lo {
+				out = append(out, Interval{lo, b.Lo})
+			}
+			if b.Hi > lo {
+				lo = b.Hi
+			}
+			if b.Hi >= a.Hi {
+				break
+			}
+			k++
+		}
+		if lo < a.Hi {
+			out = append(out, Interval{lo, a.Hi})
+		}
+	}
+	return Set{ivs: out}
+}
+
+// Shift returns the set translated by d along the time axis. This is the
+// detection-range shift of the paper: I_SR(φ,o) = I_FF(φ,o) + d.
+func (s Set) Shift(d tunit.Time) Set {
+	if s.Empty() || d == 0 {
+		return s
+	}
+	out := make([]Interval, len(s.ivs))
+	for i, iv := range s.ivs {
+		out[i] = Interval{iv.Lo + d, iv.Hi + d}
+	}
+	return Set{ivs: out}
+}
+
+// Clip returns s ∩ [lo, hi). Detection intervals outside of [t_min, t_nom]
+// are ignored (paper, Sec. II-A).
+func (s Set) Clip(lo, hi tunit.Time) Set {
+	return s.Intersect(New(Interval{lo, hi}))
+}
+
+// FilterShort removes every maximal interval shorter than minLen. This is
+// the pessimistic glitch/pulse filtering of Fig. 1: detection intervals
+// whose length is below the threshold are assumed to be filtered out by the
+// CMOS pulse-filtering behaviour and must not count as detecting. Adjacent
+// surviving intervals remain disjoint (they were already separated by a
+// gap in canonical form).
+func (s Set) FilterShort(minLen tunit.Time) Set {
+	if minLen <= 0 || s.Empty() {
+		return s
+	}
+	var out []Interval
+	for _, iv := range s.ivs {
+		if iv.Len() >= minLen {
+			out = append(out, iv)
+		}
+	}
+	return Set{ivs: out}
+}
+
+// CloseGaps merges intervals separated by gaps smaller than maxGap. A gap
+// shorter than the pulse-filtering threshold means the *glitch between two
+// detection intervals* is filtered: the output stays faulty throughout, so
+// the two intervals act as one (the I1/I2 case of Fig. 1).
+func (s Set) CloseGaps(maxGap tunit.Time) Set {
+	if maxGap <= 0 || len(s.ivs) < 2 {
+		return s
+	}
+	out := []Interval{s.ivs[0]}
+	for _, iv := range s.ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo-last.Hi < maxGap {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return Set{ivs: out}
+}
+
+// Equal reports structural equality (which, for canonical sets, is set
+// equality).
+func (s Set) Equal(o Set) bool {
+	if len(s.ivs) != len(o.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != o.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Boundaries returns the sorted list of all interval endpoints. The
+// observation-time discretization (Fig. 5) cuts the time axis at these
+// points.
+func (s Set) Boundaries() []tunit.Time {
+	out := make([]tunit.Time, 0, 2*len(s.ivs))
+	for _, iv := range s.ivs {
+		out = append(out, iv.Lo, iv.Hi)
+	}
+	return out
+}
+
+// Canonical reports whether the internal representation satisfies the Set
+// invariants. It exists for property tests.
+func (s Set) Canonical() bool {
+	for i, iv := range s.ivs {
+		if iv.Empty() {
+			return false
+		}
+		if i > 0 && s.ivs[i-1].Hi >= iv.Lo {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Set) String() string {
+	if s.Empty() {
+		return "∅"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, "∪")
+}

@@ -1,0 +1,354 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastmon/internal/tunit"
+)
+
+func set(pts ...tunit.Time) Set { return FromPoints(pts...) }
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{10, 20}
+	if iv.Empty() {
+		t.Fatal("non-empty interval reported empty")
+	}
+	if got := iv.Len(); got != 10 {
+		t.Fatalf("Len = %d, want 10", got)
+	}
+	if !iv.Contains(10) || iv.Contains(20) || !iv.Contains(15) {
+		t.Fatal("half-open containment wrong")
+	}
+	if got := iv.Mid(); got != 15 {
+		t.Fatalf("Mid = %d, want 15", got)
+	}
+	if (Interval{5, 5}).Len() != 0 {
+		t.Fatal("empty interval has nonzero length")
+	}
+	if (Interval{7, 3}).Empty() != true {
+		t.Fatal("inverted interval must be empty")
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{Interval{0, 10}, Interval{5, 15}, true},
+		{Interval{0, 10}, Interval{10, 20}, false}, // touching, half-open
+		{Interval{0, 10}, Interval{12, 20}, false},
+		{Interval{0, 0}, Interval{0, 10}, false}, // empty never overlaps
+		{Interval{3, 4}, Interval{0, 10}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v overlaps %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("overlap not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestNewCanonicalizes(t *testing.T) {
+	s := New(
+		Interval{30, 40},
+		Interval{0, 10},
+		Interval{5, 12},  // overlaps first
+		Interval{12, 20}, // adjacent -> merged
+		Interval{50, 50}, // empty -> dropped
+	)
+	want := set(0, 20, 30, 40)
+	if !s.Equal(want) {
+		t.Fatalf("New = %v, want %v", s, want)
+	}
+	if !s.Canonical() {
+		t.Fatal("result not canonical")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := set(0, 10, 20, 30)
+	b := set(5, 25, 40, 50)
+	got := a.Union(b)
+	want := set(0, 30, 40, 50)
+	if !got.Equal(want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	if !a.Union(Set{}).Equal(a) || !(Set{}).Union(a).Equal(a) {
+		t.Fatal("union with empty set is not identity")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := set(0, 10, 20, 30, 40, 60)
+	b := set(5, 25, 45, 50, 55, 70)
+	got := a.Intersect(b)
+	want := set(5, 10, 20, 25, 45, 50, 55, 60)
+	if !got.Equal(want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersect(Set{}).Empty() {
+		t.Fatal("intersection with empty set not empty")
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	a := set(0, 100)
+	b := set(10, 20, 30, 40, 90, 120)
+	got := a.Subtract(b)
+	want := set(0, 10, 20, 30, 40, 90)
+	if !got.Equal(want) {
+		t.Fatalf("Subtract = %v, want %v", got, want)
+	}
+	if !a.Subtract(a).Empty() {
+		t.Fatal("a \\ a must be empty")
+	}
+	if !a.Subtract(Set{}).Equal(a) {
+		t.Fatal("a \\ ∅ must be a")
+	}
+}
+
+func TestSubtractSpanning(t *testing.T) {
+	a := set(10, 20, 30, 40)
+	b := set(0, 100)
+	if got := a.Subtract(b); !got.Empty() {
+		t.Fatalf("Subtract spanning = %v, want empty", got)
+	}
+}
+
+func TestShift(t *testing.T) {
+	a := set(10, 20, 40, 50)
+	got := a.Shift(100)
+	want := set(110, 120, 140, 150)
+	if !got.Equal(want) {
+		t.Fatalf("Shift = %v, want %v", got, want)
+	}
+	if !a.Shift(0).Equal(a) {
+		t.Fatal("zero shift must be identity")
+	}
+	if !a.Shift(-5).Equal(set(5, 15, 35, 45)) {
+		t.Fatal("negative shift wrong")
+	}
+}
+
+func TestClip(t *testing.T) {
+	a := set(0, 10, 20, 30, 40, 50)
+	got := a.Clip(5, 45)
+	want := set(5, 10, 20, 30, 40, 45)
+	if !got.Equal(want) {
+		t.Fatalf("Clip = %v, want %v", got, want)
+	}
+	if !a.Clip(100, 200).Empty() {
+		t.Fatal("clip outside must be empty")
+	}
+}
+
+func TestFilterShort(t *testing.T) {
+	a := set(0, 3, 10, 20, 30, 34)
+	got := a.FilterShort(5)
+	want := set(10, 20)
+	if !got.Equal(want) {
+		t.Fatalf("FilterShort = %v, want %v", got, want)
+	}
+	if !a.FilterShort(0).Equal(a) {
+		t.Fatal("threshold 0 must be identity")
+	}
+}
+
+// TestCloseGapsFig1 reproduces the Fig. 1 scenario: a small glitch between
+// I1 and I2 (gap below threshold) merges them; the larger gap between I2
+// and I3 keeps the intervals disjoint.
+func TestCloseGapsFig1(t *testing.T) {
+	i1i2gap := set(100, 200, 205, 300) // 5ps glitch
+	got := i1i2gap.CloseGaps(10)
+	if !got.Equal(set(100, 300)) {
+		t.Fatalf("glitch not merged: %v", got)
+	}
+	i2i3gap := set(100, 200, 250, 300) // 50ps real gap
+	got = i2i3gap.CloseGaps(10)
+	if !got.Equal(i2i3gap) {
+		t.Fatalf("real gap merged: %v", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := set(10, 20, 30, 40)
+	for _, tc := range []struct {
+		t    tunit.Time
+		want bool
+	}{{9, false}, {10, true}, {19, true}, {20, false}, {25, false}, {30, true}, {39, true}, {40, false}} {
+		if got := a.Contains(tc.t); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	if (Set{}).Contains(0) {
+		t.Fatal("empty set contains a point")
+	}
+}
+
+func TestMinMaxMeasure(t *testing.T) {
+	a := set(10, 20, 30, 45)
+	if a.Min() != 10 || a.Max() != 45 {
+		t.Fatalf("Min/Max = %d/%d", a.Min(), a.Max())
+	}
+	if a.Measure() != 25 {
+		t.Fatalf("Measure = %d, want 25", a.Measure())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min of empty set must panic")
+		}
+	}()
+	_ = (Set{}).Min()
+}
+
+func TestBoundaries(t *testing.T) {
+	a := set(10, 20, 30, 40)
+	b := a.Boundaries()
+	want := []tunit.Time{10, 20, 30, 40}
+	if len(b) != len(want) {
+		t.Fatalf("Boundaries = %v", b)
+	}
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("Boundaries = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Set{}).String(); got != "∅" {
+		t.Fatalf("empty String = %q", got)
+	}
+	if got := set(1, 2).String(); got == "" {
+		t.Fatal("String empty for non-empty set")
+	}
+}
+
+// randomSet builds a random canonical set for property tests.
+func randomSet(r *rand.Rand) Set {
+	n := r.Intn(8)
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		lo := tunit.Time(r.Intn(1000))
+		ivs[i] = Interval{lo, lo + tunit.Time(r.Intn(100))}
+	}
+	return New(ivs...)
+}
+
+func TestPropCanonical(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randomSet(r), randomSet(r)
+		for _, s := range []Set{a.Union(b), a.Intersect(b), a.Subtract(b),
+			a.Shift(tunit.Time(r.Intn(200) - 100)), a.FilterShort(tunit.Time(r.Intn(20))),
+			a.CloseGaps(tunit.Time(r.Intn(20))), a.Clip(100, 800)} {
+			if !s.Canonical() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMembershipAlgebra(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := randomSet(r), randomSet(r)
+		u, x, d := a.Union(b), a.Intersect(b), a.Subtract(b)
+		for i := 0; i < 50; i++ {
+			p := tunit.Time(r.Intn(1200))
+			ina, inb := a.Contains(p), b.Contains(p)
+			if u.Contains(p) != (ina || inb) {
+				return false
+			}
+			if x.Contains(p) != (ina && inb) {
+				return false
+			}
+			if d.Contains(p) != (ina && !inb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMeasureMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b := randomSet(r), randomSet(r)
+		u := a.Union(b)
+		if u.Measure() < a.Measure() || u.Measure() < b.Measure() {
+			return false
+		}
+		// Inclusion–exclusion: |a∪b| = |a|+|b|-|a∩b|.
+		return u.Measure() == a.Measure()+b.Measure()-a.Intersect(b).Measure()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropShiftInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func() bool {
+		a := randomSet(r)
+		d := tunit.Time(r.Intn(500))
+		return a.Shift(d).Shift(-d).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropFilterNeverCreatesShort(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		a := randomSet(r)
+		th := tunit.Time(r.Intn(30))
+		for _, iv := range a.FilterShort(th).Intervals() {
+			if iv.Len() < th {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSubtractUnionPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	f := func() bool {
+		a, b := randomSet(r), randomSet(r)
+		// (a\b) ∪ (a∩b) == a, and the two parts are disjoint.
+		diff, inter := a.Subtract(b), a.Intersect(b)
+		if !diff.Intersect(inter).Empty() {
+			return false
+		}
+		return diff.Union(inter).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromPointsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromPoints with odd boundary count must panic")
+		}
+	}()
+	FromPoints(1, 2, 3)
+}

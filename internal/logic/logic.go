@@ -1,0 +1,238 @@
+// Package logic implements 64-way bit-parallel zero-delay simulation of
+// gate-level circuits. It is the workhorse behind the ATPG substrate:
+// random-pattern evaluation, transition-fault detection for fault
+// dropping, and static test compaction all run 64 pattern pairs per word.
+package logic
+
+import (
+	"fastmon/internal/circuit"
+	"fastmon/internal/fault"
+	"fastmon/internal/sim"
+)
+
+// EvalVectors computes the good value of every gate for up to 64 source
+// assignments packed bitwise: src[i] holds the values of the i-th source
+// (circuit source order) across the 64 vectors. The returned slice is
+// indexed by gate ID.
+func EvalVectors(c *circuit.Circuit, src []uint64) []uint64 {
+	val := make([]uint64, len(c.Gates))
+	for i, id := range c.Sources() {
+		val[id] = src[i]
+	}
+	for _, id := range c.Topo() {
+		g := &c.Gates[id]
+		val[id] = evalWord(g.Kind, g.Fanin, val)
+	}
+	return val
+}
+
+func evalWord(kind circuit.Kind, fanin []int, val []uint64) uint64 {
+	switch kind {
+	case circuit.Buf:
+		return val[fanin[0]]
+	case circuit.Not:
+		return ^val[fanin[0]]
+	case circuit.And, circuit.Nand:
+		v := ^uint64(0)
+		for _, f := range fanin {
+			v &= val[f]
+		}
+		if kind == circuit.Nand {
+			return ^v
+		}
+		return v
+	case circuit.Or, circuit.Nor:
+		v := uint64(0)
+		for _, f := range fanin {
+			v |= val[f]
+		}
+		if kind == circuit.Nor {
+			return ^v
+		}
+		return v
+	case circuit.Xor, circuit.Xnor:
+		v := uint64(0)
+		for _, f := range fanin {
+			v ^= val[f]
+		}
+		if kind == circuit.Xnor {
+			return ^v
+		}
+		return v
+	}
+	panic("logic: evalWord on " + kind.String())
+}
+
+// evalWordForced evaluates a gate with one input pin overridden.
+func evalWordForced(kind circuit.Kind, fanin []int, val []uint64, pin int, forced uint64) uint64 {
+	vals := make([]uint64, len(fanin))
+	for p, f := range fanin {
+		vals[p] = val[f]
+	}
+	vals[pin] = forced
+	return evalLocal(kind, vals)
+}
+
+// Pack converts up to 64 pattern pairs (starting at index start) into
+// bit-planes: src1[i]/src2[i] carry the V1/V2 values of source i across
+// the packed patterns. It returns the number of patterns packed.
+func Pack(patterns []sim.Pattern, start int, nsrc int) (src1, src2 []uint64, n int) {
+	src1 = make([]uint64, nsrc)
+	src2 = make([]uint64, nsrc)
+	for n = 0; n < 64 && start+n < len(patterns); n++ {
+		p := patterns[start+n]
+		for i := 0; i < nsrc; i++ {
+			if p.V1[i] {
+				src1[i] |= 1 << uint(n)
+			}
+			if p.V2[i] {
+				src2[i] |= 1 << uint(n)
+			}
+		}
+	}
+	return src1, src2, n
+}
+
+// Batch holds the good values of one packed pattern block for both the
+// initialization vector (V1) and the launch/capture vector (V2).
+type Batch struct {
+	C      *circuit.Circuit
+	N      int // number of valid patterns (low bits)
+	V1, V2 []uint64
+	taps   []circuit.Tap
+}
+
+// NewBatch evaluates a packed block of pattern pairs.
+func NewBatch(c *circuit.Circuit, patterns []sim.Pattern, start int) *Batch {
+	src1, src2, n := Pack(patterns, start, len(c.Sources()))
+	return &Batch{
+		C:    c,
+		N:    n,
+		V1:   EvalVectors(c, src1),
+		V2:   EvalVectors(c, src2),
+		taps: c.Taps(),
+	}
+}
+
+// mask returns the valid-pattern mask of the batch.
+func (b *Batch) mask() uint64 {
+	if b.N >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(b.N)) - 1
+}
+
+// siteValues returns the V1 and V2 good values of the fault site signal.
+func (b *Batch) siteValues(f fault.Fault) (v1, v2 uint64) {
+	g := &b.C.Gates[f.Gate]
+	if f.Pin < 0 {
+		return b.V1[f.Gate], b.V2[f.Gate]
+	}
+	src := g.Fanin[f.Pin]
+	return b.V1[src], b.V2[src]
+}
+
+// DetectTransition returns the bitmask of patterns in the batch that
+// detect the transition fault corresponding to the small-delay fault site:
+// the site must launch the faulty transition (V1→V2 matching the fault
+// polarity) and the gross-delay effect (site stuck at its V1 value during
+// capture) must propagate to an observation point.
+func (b *Batch) DetectTransition(f fault.Fault) uint64 {
+	sv1, sv2 := b.siteValues(f)
+	var active uint64
+	if f.Rising {
+		active = ^sv1 & sv2 // 0 → 1 transition at the site
+	} else {
+		active = sv1 & ^sv2 // 1 → 0 transition
+	}
+	active &= b.mask()
+	if active == 0 {
+		return 0
+	}
+
+	// Faulty V2 values: site stuck at its V1 value. Propagate through the
+	// fanout cone only.
+	faulty := map[int]uint64{}
+	g := &b.C.Gates[f.Gate]
+	var fg uint64
+	if f.Pin < 0 {
+		fg = sv1 // output forced to the initialization value
+	} else {
+		fg = evalWordForced(g.Kind, g.Fanin, b.V2, f.Pin, sv1)
+	}
+	if fg == b.V2[f.Gate] {
+		return 0
+	}
+	faulty[f.Gate] = fg
+
+	for _, id := range b.C.FanoutCone(f.Gate) {
+		cg := &b.C.Gates[id]
+		touched := false
+		for _, fi := range cg.Fanin {
+			if _, ok := faulty[fi]; ok {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		vals := make([]uint64, len(cg.Fanin))
+		for p, fi := range cg.Fanin {
+			if v, ok := faulty[fi]; ok {
+				vals[p] = v
+			} else {
+				vals[p] = b.V2[fi]
+			}
+		}
+		nv := evalLocal(cg.Kind, vals)
+		if nv != b.V2[id] {
+			faulty[id] = nv
+		}
+	}
+
+	var det uint64
+	for _, tap := range b.taps {
+		if fv, ok := faulty[tap.Gate]; ok {
+			det |= fv ^ b.V2[tap.Gate]
+		}
+	}
+	return det & active
+}
+
+func evalLocal(kind circuit.Kind, vals []uint64) uint64 {
+	switch kind {
+	case circuit.Buf:
+		return vals[0]
+	case circuit.Not:
+		return ^vals[0]
+	case circuit.And, circuit.Nand:
+		v := ^uint64(0)
+		for _, x := range vals {
+			v &= x
+		}
+		if kind == circuit.Nand {
+			return ^v
+		}
+		return v
+	case circuit.Or, circuit.Nor:
+		v := uint64(0)
+		for _, x := range vals {
+			v |= x
+		}
+		if kind == circuit.Nor {
+			return ^v
+		}
+		return v
+	case circuit.Xor, circuit.Xnor:
+		v := uint64(0)
+		for _, x := range vals {
+			v ^= x
+		}
+		if kind == circuit.Xnor {
+			return ^v
+		}
+		return v
+	}
+	panic("logic: evalLocal on " + kind.String())
+}

@@ -1,0 +1,137 @@
+// Package misr implements a multiple-input signature register — the
+// response-compaction infrastructure that conventional FAST evaluation
+// needs on the tester side. The paper's monitor-reuse approach exists
+// precisely to avoid this machinery ([14]: "evading extra infrastructures,
+// e.g., an ATE, MISR or X-tolerant compactors"); the package provides the
+// baseline so examples and tests can contrast the two evaluation styles,
+// including the X-corruption problem that over-clocked capture causes.
+package misr
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MISR is a multiple-input signature register over GF(2) with a
+// characteristic polynomial given by its feedback taps. Width is limited
+// to 64 bits (one machine word), which compacts up to 64 observation
+// points per shift.
+type MISR struct {
+	width uint
+	poly  uint64 // feedback taps, bit i => x^i term (implicit x^width)
+	state uint64
+}
+
+// New returns a MISR of the given width (1..64) with the given feedback
+// polynomial taps. Well-known primitive polynomials are available via
+// Primitive.
+func New(width uint, poly uint64) (*MISR, error) {
+	if width == 0 || width > 64 {
+		return nil, fmt.Errorf("misr: width %d out of range 1..64", width)
+	}
+	mask := widthMask(width)
+	if poly&^mask != 0 {
+		return nil, fmt.Errorf("misr: polynomial taps exceed width %d", width)
+	}
+	return &MISR{width: width, poly: poly & mask}, nil
+}
+
+func widthMask(width uint) uint64 {
+	if width == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// Primitive returns the taps of a primitive polynomial for common widths
+// (maximal-length LFSR), falling back to a dense polynomial otherwise.
+func Primitive(width uint) uint64 {
+	switch width {
+	case 8:
+		return 0x1D // x^8 + x^4 + x^3 + x^2 + 1
+	case 16:
+		return 0x1021 >> 1 << 1 & widthMask(16) // CCITT-like taps
+	case 24:
+		return 0x5D6DCB & widthMask(24)
+	case 32:
+		return 0x04C11DB7 & widthMask(32)
+	case 64:
+		return 0x42F0E1EBA9EA3693
+	default:
+		return 0b1011011 & widthMask(width)
+	}
+}
+
+// Reset clears the signature.
+func (m *MISR) Reset() { m.state = 0 }
+
+// Shift clocks the register once, XOR-ing the parallel input word into the
+// shifted state (standard type-2 MISR).
+func (m *MISR) Shift(input uint64) {
+	msb := m.state >> (m.width - 1) & 1
+	m.state = (m.state << 1) & widthMask(m.width)
+	if msb == 1 {
+		m.state ^= m.poly
+	}
+	m.state ^= input & widthMask(m.width)
+}
+
+// Signature returns the current compacted signature.
+func (m *MISR) Signature() uint64 { return m.state }
+
+// Width returns the register width.
+func (m *MISR) Width() uint { return m.width }
+
+// Compact resets the register, shifts in every response word and returns
+// the signature.
+func (m *MISR) Compact(responses []uint64) uint64 {
+	m.Reset()
+	for _, r := range responses {
+		m.Shift(r)
+	}
+	return m.Signature()
+}
+
+// CompactWithX models the over-clocked-capture problem: responseX marks
+// unknown (X) bits per word. A single X corrupts the whole remaining
+// signature, so the result reports how many signature bits are still
+// trustworthy — zero as soon as any X was shifted in (the pessimistic ATE
+// view that motivates X-tolerant compactors and, ultimately, the paper's
+// monitor-based evaluation that needs none of this).
+func (m *MISR) CompactWithX(responses, responseX []uint64) (sig uint64, valid bool, corrupted int) {
+	m.Reset()
+	valid = true
+	for i, r := range responses {
+		var x uint64
+		if i < len(responseX) {
+			x = responseX[i]
+		}
+		if x&widthMask(m.width) != 0 {
+			valid = false
+			corrupted += bits.OnesCount64(x & widthMask(m.width))
+		}
+		m.Shift(r &^ x)
+	}
+	return m.Signature(), valid, corrupted
+}
+
+// Aliasing probability of a w-bit MISR is 2^-w; Alias reports whether two
+// response streams produce the same signature while differing (a test
+// helper for demonstrating the compaction risk that per-fault monitor
+// evaluation avoids).
+func (m *MISR) Alias(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return false
+	}
+	return m.Compact(a) == m.Compact(b)
+}

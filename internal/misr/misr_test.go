@@ -1,0 +1,141 @@
+package misr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := New(65, 1); err == nil {
+		t.Fatal("width 65 accepted")
+	}
+	if _, err := New(8, 1<<9); err == nil {
+		t.Fatal("taps beyond width accepted")
+	}
+	m, err := New(16, Primitive(16))
+	if err != nil || m.Width() != 16 {
+		t.Fatalf("m=%v err=%v", m, err)
+	}
+	if _, err := New(64, Primitive(64)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftDeterministicAndSensitive(t *testing.T) {
+	m, _ := New(16, Primitive(16))
+	resp := []uint64{0x1234, 0x0F0F, 0xFFFF, 0x0001}
+	s1 := m.Compact(resp)
+	s2 := m.Compact(resp)
+	if s1 != s2 {
+		t.Fatal("signature not deterministic")
+	}
+	// Single-bit change must change the signature (no aliasing for a
+	// single-bit error within the stream length < width period).
+	mod := append([]uint64(nil), resp...)
+	mod[2] ^= 1 << 5
+	if m.Compact(mod) == s1 {
+		t.Fatal("single-bit error aliased")
+	}
+	if m.Signature() == 0 && s1 == 0 {
+		t.Fatal("zero signature for nonzero stream")
+	}
+}
+
+func TestCompactEmptyAndReset(t *testing.T) {
+	m, _ := New(8, Primitive(8))
+	if m.Compact(nil) != 0 {
+		t.Fatal("empty stream must give zero signature")
+	}
+	m.Shift(0xAB)
+	m.Reset()
+	if m.Signature() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCompactWithX(t *testing.T) {
+	m, _ := New(16, Primitive(16))
+	resp := []uint64{0x1234, 0x0F0F, 0x00FF}
+	sig, valid, corrupted := m.CompactWithX(resp, nil)
+	if !valid || corrupted != 0 {
+		t.Fatal("X-free stream reported corrupted")
+	}
+	if sig != m.Compact(resp) {
+		t.Fatal("X-free signature differs from plain compaction")
+	}
+	// One X bit invalidates the signature.
+	_, valid, corrupted = m.CompactWithX(resp, []uint64{0, 1 << 3, 0})
+	if valid || corrupted != 1 {
+		t.Fatalf("valid=%v corrupted=%d", valid, corrupted)
+	}
+	// X bits above the register width are ignored.
+	_, valid, _ = m.CompactWithX(resp, []uint64{0, 1 << 60, 0})
+	if !valid {
+		t.Fatal("out-of-width X counted")
+	}
+}
+
+func TestAlias(t *testing.T) {
+	m, _ := New(8, Primitive(8))
+	a := []uint64{1, 2, 3}
+	if m.Alias(a, a) {
+		t.Fatal("identical streams are not an alias")
+	}
+	if m.Alias(a, []uint64{1, 2}) {
+		t.Fatal("different lengths cannot alias here")
+	}
+	// Construct an alias: two streams whose difference compacts to zero.
+	// With an 8-bit MISR, injecting an error e in word i and the shifted
+	// error pattern in word i+1 can cancel; search for one.
+	rng := rand.New(rand.NewSource(1))
+	found := false
+	for trial := 0; trial < 20000 && !found; trial++ {
+		b := append([]uint64(nil), a...)
+		b[rng.Intn(3)] ^= uint64(rng.Intn(256))
+		b[rng.Intn(3)] ^= uint64(rng.Intn(256))
+		if m.Alias(a, b) {
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("no alias found in the search budget (probabilistic)")
+	}
+}
+
+func TestPropLinearity(t *testing.T) {
+	// MISR compaction is linear over GF(2): sig(a ⊕ b) = sig(a) ⊕ sig(b)
+	// for equal-length streams (with zero initial state).
+	m, _ := New(32, Primitive(32))
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		n := 1 + rng.Intn(20)
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		x := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64() & 0xFFFFFFFF
+			b[i] = rng.Uint64() & 0xFFFFFFFF
+			x[i] = a[i] ^ b[i]
+		}
+		return m.Compact(x) == m.Compact(a)^m.Compact(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrimitiveWidths(t *testing.T) {
+	for _, w := range []uint{8, 16, 24, 32, 64, 7, 13} {
+		p := Primitive(w)
+		if p == 0 {
+			t.Fatalf("no taps for width %d", w)
+		}
+		if p&^widthMask(w) != 0 {
+			t.Fatalf("taps exceed width %d", w)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package patio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fastmon/internal/circuit"
+	"fastmon/internal/sim"
+)
+
+func randomPatterns(rng *rand.Rand, nsrc, n int) []sim.Pattern {
+	ps := make([]sim.Pattern, n)
+	for i := range ps {
+		ps[i] = sim.Pattern{V1: make([]bool, nsrc), V2: make([]bool, nsrc)}
+		for j := 0; j < nsrc; j++ {
+			ps[i].V1[j] = rng.Intn(2) == 0
+			ps[i].V2[j] = rng.Intn(2) == 0
+		}
+	}
+	return ps
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	rng := rand.New(rand.NewSource(1))
+	ps := randomPatterns(rng, len(c.Sources()), 40)
+	var buf bytes.Buffer
+	if err := Write(&buf, c, ps); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ps) {
+		t.Fatalf("pattern count %d, want %d", len(back), len(ps))
+	}
+	for i := range ps {
+		for j := range ps[i].V1 {
+			if back[i].V1[j] != ps[i].V1[j] || back[i].V2[j] != ps[i].V2[j] {
+				t.Fatalf("pattern %d bit %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestWriteSizeMismatch(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	bad := []sim.Pattern{{V1: []bool{true}, V2: []bool{false}}}
+	if err := Write(&bytes.Buffer{}, c, bad); err == nil {
+		t.Fatal("accepted wrong-size pattern")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	cases := []struct{ name, src string }{
+		{"no sources", "0101101 1101001\n"},
+		{"wrong source count", "sources a b\n"},
+		{"wrong source name", "sources G0 G1 G2 G3 G5 G6 XX\n0101101 1101001\n"},
+		{"one field", "sources G0 G1 G2 G3 G5 G6 G7\n0101101\n"},
+		{"short vector", "sources G0 G1 G2 G3 G5 G6 G7\n01011 1101001\n"},
+		{"bad char", "sources G0 G1 G2 G3 G5 G6 G7\n01011x1 1101001\n"},
+		{"empty file", ""},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.src), c); err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.src)
+		}
+	}
+}
+
+func TestReadTolerant(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	src := "# comment\n\nsources G0 G1 G2 G3 G5 G6 G7\n# another comment\n0101101 1101001\n\n"
+	ps, err := Read(strings.NewReader(src), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || !ps[0].V1[1] || ps[0].V1[0] {
+		t.Fatalf("patterns = %+v", ps)
+	}
+}
+
+func TestEmptyPatternSetRoundTrip(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	var buf bytes.Buffer
+	if err := Write(&buf, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Read(&buf, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 0 {
+		t.Fatal("phantom patterns")
+	}
+}

@@ -1,0 +1,119 @@
+// Package scan models the design-for-test access mechanism the FAST flow
+// rides on: scan chains. Flip-flops are stitched into balanced chains;
+// shifting a pattern in costs one shift cycle per chain position, which is
+// what makes the per-pattern cost of a schedule concrete (and what makes
+// the number of *frequencies* — PLL re-locks — the dominant term the
+// paper's step-1 optimization minimizes).
+package scan
+
+import (
+	"fmt"
+
+	"fastmon/internal/circuit"
+	"fastmon/internal/sim"
+	"fastmon/internal/tunit"
+)
+
+// Chains is a partition of the circuit's flip-flops into scan chains.
+// Chain order follows DFF declaration order, round-robin across chains
+// (the usual stitching when no layout information exists).
+type Chains struct {
+	c *circuit.Circuit
+	// Chain[i] lists DFF gate IDs in shift order (scan-in first).
+	Chain [][]int
+}
+
+// Build stitches the circuit's flip-flops into n balanced chains. n is
+// clamped to [1, #FFs]; a circuit without flip-flops yields no chains.
+func Build(c *circuit.Circuit, n int) *Chains {
+	ffs := c.DFFs
+	if len(ffs) == 0 {
+		return &Chains{c: c}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ffs) {
+		n = len(ffs)
+	}
+	ch := make([][]int, n)
+	for i, ff := range ffs {
+		ch[i%n] = append(ch[i%n], ff)
+	}
+	return &Chains{c: c, Chain: ch}
+}
+
+// NumChains returns the number of chains.
+func (s *Chains) NumChains() int { return len(s.Chain) }
+
+// MaxLength returns the longest chain length — the number of shift cycles
+// per load/unload.
+func (s *Chains) MaxLength() int {
+	m := 0
+	for _, ch := range s.Chain {
+		if len(ch) > m {
+			m = len(ch)
+		}
+	}
+	return m
+}
+
+// ShiftCycles returns the shift cycles needed to apply one pattern:
+// loading the next stimulus unloads the previous response, so it is one
+// MaxLength pass (plus the launch/capture cycle, accounted separately).
+func (s *Chains) ShiftCycles() int { return s.MaxLength() }
+
+// LoadOrder returns, for each source index of the circuit (PIs first,
+// then FFs), the (chain, position) the value is shifted into, or (-1,-1)
+// for primary inputs (applied directly).
+func (s *Chains) LoadOrder() [](struct{ Chain, Pos int }) {
+	srcs := s.c.Sources()
+	out := make([]struct{ Chain, Pos int }, len(srcs))
+	pos := map[int]struct{ Chain, Pos int }{}
+	for ci, ch := range s.Chain {
+		for pi, ff := range ch {
+			pos[ff] = struct{ Chain, Pos int }{ci, pi}
+		}
+	}
+	for i, id := range srcs {
+		if p, ok := pos[id]; ok {
+			out[i] = p
+		} else {
+			out[i] = struct{ Chain, Pos int }{-1, -1}
+		}
+	}
+	return out
+}
+
+// ShiftStreams converts a pattern's FF portion into per-chain bit streams
+// (scan-in order: the bit shifted in first ends up at the last position).
+func (s *Chains) ShiftStreams(p sim.Pattern) ([][]bool, error) {
+	srcs := s.c.Sources()
+	if len(p.V1) != len(srcs) {
+		return nil, fmt.Errorf("scan: pattern has %d values for %d sources", len(p.V1), len(srcs))
+	}
+	valOf := map[int]bool{}
+	nPI := len(s.c.Inputs)
+	for i, id := range srcs[nPI:] {
+		valOf[id] = p.V1[nPI+i]
+	}
+	streams := make([][]bool, len(s.Chain))
+	for ci, ch := range s.Chain {
+		stream := make([]bool, len(ch))
+		// Position k receives the bit shifted in (len-1-k) cycles before
+		// the end: stream is emitted scan-in first.
+		for k, ff := range ch {
+			stream[len(ch)-1-k] = valOf[ff]
+		}
+		streams[ci] = stream
+	}
+	return streams, nil
+}
+
+// TestTime computes the wall-clock cost of applying nPatterns patterns at
+// the given capture period: per pattern one chain load at the shift period
+// plus one launch/capture cycle at the capture period.
+func (s *Chains) TestTime(nPatterns int, shiftPeriod, capturePeriod tunit.Time) tunit.Time {
+	perPattern := tunit.Time(s.ShiftCycles())*shiftPeriod + capturePeriod
+	return tunit.Time(nPatterns) * perPattern
+}

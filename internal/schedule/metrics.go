@@ -1,0 +1,58 @@
+package schedule
+
+import (
+	"time"
+
+	"fastmon/internal/tunit"
+)
+
+// ComboUniverse returns |P × C × F|: the number of pattern-configuration
+// applications of the naïve schedule that applies every pattern under
+// every monitor configuration at every selected frequency. The paper's
+// Table II column "orig." and Table III columns |PC_cov| use this with
+// |C| counting the delay elements plus the monitor-bypass setting.
+func ComboUniverse(nPatterns, nDelayConfigs, nFrequencies int) int {
+	return nPatterns * (nDelayConfigs + 1) * nFrequencies
+}
+
+// ReductionPercent returns (1 - optimized/original)·100, the relative test
+// time reduction Δ%_{|PC|} of Sec. V-B. An original of zero yields zero.
+func ReductionPercent(original, optimized int) float64 {
+	if original <= 0 {
+		return 0
+	}
+	return (1 - float64(optimized)/float64(original)) * 100
+}
+
+// TimeModel converts a schedule into wall-clock test time. Switching FAST
+// frequencies re-locks the PLL, which costs tens to hundreds of
+// microseconds [21, 22]; each pattern application costs a scan-in at the
+// shift clock plus one launch-capture cycle at the test period.
+type TimeModel struct {
+	// Relock is the PLL re-lock penalty per frequency change.
+	Relock time.Duration
+	// ScanCycles is the scan chain length (shift cycles per pattern).
+	ScanCycles int
+	// ShiftPeriod is the scan shift clock period.
+	ShiftPeriod tunit.Time
+}
+
+// DefaultTimeModel matches the magnitudes the paper cites: 100 µs PLL
+// re-lock, shifting at 50 MHz.
+func DefaultTimeModel(scanCycles int) TimeModel {
+	return TimeModel{
+		Relock:      100 * time.Microsecond,
+		ScanCycles:  scanCycles,
+		ShiftPeriod: tunit.Freq(50e6).Period(),
+	}
+}
+
+// Estimate returns the total test time of a schedule under the model.
+func (tm TimeModel) Estimate(s *Schedule) time.Duration {
+	var ps int64
+	for _, plan := range s.Periods {
+		perPattern := int64(tm.ScanCycles)*int64(tm.ShiftPeriod) + int64(plan.Period)
+		ps += int64(len(plan.Combos)) * perPattern
+	}
+	return time.Duration(ps/1000)*time.Nanosecond + time.Duration(s.NumFrequencies())*tm.Relock
+}

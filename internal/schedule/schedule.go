@@ -1,0 +1,361 @@
+// Package schedule implements the two-step test-schedule optimization of
+// Sec. IV: first a minimum set of FAST clock periods is selected (PLL
+// re-locking makes frequency count the dominant test-time term), then for
+// each selected period a minimum set of (pattern, monitor-configuration)
+// combinations. Both steps are set-covering problems solved either exactly
+// as zero-one programs (the paper's proposed method, column "prop.") or by
+// the greedy heuristic of [17] (column "heur."); the conventional-FAST
+// baseline (column "conv.") runs without monitors.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fastmon/internal/bitset"
+	"fastmon/internal/detect"
+	"fastmon/internal/dot"
+	"fastmon/internal/ilp"
+	"fastmon/internal/interval"
+	"fastmon/internal/tunit"
+)
+
+// Method selects the optimization algorithm.
+type Method int
+
+const (
+	// Conventional is FAST without monitors: detection through standard
+	// flip-flops only; frequency and pattern selection still optimized.
+	Conventional Method = iota
+	// Heuristic uses monitors with greedy set covering ([17]).
+	Heuristic
+	// ILP uses monitors with exact zero-one programming (the paper).
+	ILP
+)
+
+func (m Method) String() string {
+	switch m {
+	case Conventional:
+		return "conv"
+	case Heuristic:
+		return "heur"
+	case ILP:
+		return "ilp"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Options parameterizes schedule construction.
+type Options struct {
+	// Cfg is the detection configuration the ranges were computed under.
+	Cfg detect.Config
+	// Delays are the monitor delay elements (ignored for Conventional).
+	Delays []tunit.Time
+	// Method selects the algorithm.
+	Method Method
+	// Coverage is the required fraction of coverable target faults
+	// (0 or 1 = full coverage; 0.99, 0.98, … for Table III).
+	Coverage float64
+	// FreeConfig lets every monitor select its own delay element per
+	// application instead of the paper's shared setting — an optimistic
+	// extension model that lower-bounds the achievable schedule size.
+	FreeConfig bool
+	// SolverBudget bounds each exact solve; exceeding it falls back to
+	// the best incumbent (the paper aborts its ILP after 1 hour). Zero
+	// means 10 seconds.
+	SolverBudget time.Duration
+}
+
+func (o Options) budget() time.Duration {
+	if o.SolverBudget <= 0 {
+		return 10 * time.Second
+	}
+	return o.SolverBudget
+}
+
+// ConfigFree marks a combo whose monitors are tuned individually per
+// delay element (the beyond-the-paper extension); ConfigOff marks a combo
+// that uses flip-flops only.
+const (
+	ConfigOff  = -1
+	ConfigFree = -2
+)
+
+// Combo is one schedule entry at a given period: pattern index plus
+// monitor configuration (index into Options.Delays, ConfigOff for
+// "monitors unused / flip-flops only", or ConfigFree for per-monitor
+// independent settings).
+type Combo struct {
+	Pattern int
+	Config  int
+}
+
+// PeriodPlan is the part of the schedule applied at one clock period.
+type PeriodPlan struct {
+	Period tunit.Time
+	// Faults lists the target-fault indices assigned to this period by
+	// the fault-dropping pass (Φ_j^opt).
+	Faults []int
+	// Combos is the optimized set of pattern-configuration combinations
+	// covering Faults at this period (Ω_j).
+	Combos []Combo
+}
+
+// Schedule is the complete FAST schedule S ⊆ F × P × C.
+type Schedule struct {
+	Method  Method
+	Periods []PeriodPlan
+	// Coverable is the number of target faults detectable at all under
+	// the method's observation model.
+	Coverable int
+	// Covered is the number of target faults the schedule detects.
+	Covered int
+	// FreqOptimal / CombosOptimal report whether the respective solves
+	// were proven optimal (false after budget fallback or for greedy).
+	FreqOptimal   bool
+	CombosOptimal bool
+}
+
+// NumFrequencies returns |F|, the number of selected clock periods.
+func (s *Schedule) NumFrequencies() int { return len(s.Periods) }
+
+// Size returns |S|, the number of (f, p, c) applications.
+func (s *Schedule) Size() int {
+	n := 0
+	for _, p := range s.Periods {
+		n += len(p.Combos)
+	}
+	return n
+}
+
+// Build constructs a schedule for the given target-fault detection data.
+// The data slice must contain exactly the target faults (Φ_tar); indices
+// into it identify faults throughout the schedule.
+func Build(data []detect.FaultData, opt Options) (*Schedule, error) {
+	delays := opt.Delays
+	if opt.Method == Conventional {
+		delays = nil
+	}
+
+	// Step 0: combined detection ranges and observation-time candidates.
+	ranges := make([]interval.Set, len(data))
+	for i := range data {
+		ranges[i] = data[i].Combined(opt.Cfg, delays)
+	}
+	cands := dot.Discretize(ranges)
+	universe := dot.CoverableFaults(cands, len(data))
+	coverable := universe.Count()
+
+	s := &Schedule{Method: opt.Method, Coverable: coverable}
+	if coverable == 0 {
+		s.FreqOptimal, s.CombosOptimal = true, true
+		return s, nil
+	}
+
+	// Step 1: minimum clock-period selection.
+	sets := make([]*bitset.Set, len(cands))
+	for i, c := range cands {
+		sets[i] = c.Faults
+	}
+	quota := coverable
+	if opt.Coverage > 0 && opt.Coverage < 1 {
+		quota = int(float64(coverable)*opt.Coverage + 0.999999)
+		if quota > coverable {
+			quota = coverable
+		}
+	}
+	var selected []int
+	switch {
+	case opt.Method == ILP && quota == coverable:
+		res, err := ilp.SetCover(sets, universe, ilp.Options{Deadline: time.Now().Add(opt.budget())})
+		if err != nil {
+			return nil, fmt.Errorf("schedule: frequency selection: %w", err)
+		}
+		selected, s.FreqOptimal = res.Selected, res.Optimal
+	case opt.Method == ILP:
+		res, err := ilp.PartialCover(sets, universe, quota, ilp.Options{Deadline: time.Now().Add(opt.budget())})
+		if err != nil {
+			return nil, fmt.Errorf("schedule: frequency selection: %w", err)
+		}
+		selected, s.FreqOptimal = res.Selected, res.Optimal
+	case quota == coverable:
+		selected = ilp.GreedyCover(sets, universe)
+	default:
+		var err error
+		selected, err = ilp.GreedyPartialCover(sets, universe, quota)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: frequency selection: %w", err)
+		}
+	}
+
+	// Fault dropping: process the selected periods by decreasing fault
+	// count; each fault is assigned to the first period that detects it.
+	sort.SliceStable(selected, func(a, b int) bool {
+		return cands[selected[a]].Faults.Count() > cands[selected[b]].Faults.Count()
+	})
+	assigned := bitset.New(len(data))
+	plans := make([]PeriodPlan, 0, len(selected))
+	for _, ci := range selected {
+		c := cands[ci]
+		mine := c.Faults.Clone()
+		mine.AndNot(assigned)
+		if quota < coverable {
+			// Partial coverage: stop assigning once the quota is reached.
+			deficit := quota - assigned.Count()
+			if deficit <= 0 {
+				break
+			}
+			if mine.Count() > deficit {
+				// Keep only the first `deficit` faults for determinism.
+				members := mine.Members(nil)
+				mine.Clear()
+				for _, fi := range members[:deficit] {
+					mine.Add(fi)
+				}
+			}
+		}
+		if mine.Empty() {
+			continue
+		}
+		assigned.Or(mine)
+		plans = append(plans, PeriodPlan{Period: c.T, Faults: mine.Members(nil)})
+	}
+	s.Covered = assigned.Count()
+
+	// Step 2: per period, minimum pattern-configuration selection.
+	s.CombosOptimal = true
+	for pi := range plans {
+		if err := optimizeCombos(data, &plans[pi], opt, delays, s); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(plans, func(a, b int) bool { return plans[a].Period < plans[b].Period })
+	s.Periods = plans
+	return s, nil
+}
+
+// optimizeCombos fills plan.Combos with a minimal covering set of
+// (pattern, config) combinations for the faults assigned to the period.
+func optimizeCombos(data []detect.FaultData, plan *PeriodPlan, opt Options,
+	delays []tunit.Time, s *Schedule) error {
+
+	configs := []int{ConfigOff}
+	if len(delays) > 0 {
+		if opt.FreeConfig {
+			configs = []int{ConfigFree}
+		} else {
+			configs = configs[:0]
+			for ci := range delays {
+				configs = append(configs, ci)
+			}
+		}
+	}
+	type key struct{ pattern, config int }
+	cover := map[key]*bitset.Set{}
+	for _, fi := range plan.Faults {
+		for _, pr := range data[fi].Per {
+			for _, ci := range configs {
+				var rng interval.Set
+				switch {
+				case ci == ConfigFree:
+					rng = pr.CombinedFree(opt.Cfg, delays)
+				case ci >= 0:
+					rng = pr.CombinedAt(opt.Cfg, delays[ci])
+				default:
+					rng = pr.CombinedAt(opt.Cfg, -1)
+				}
+				if rng.Contains(plan.Period) {
+					k := key{pr.Pattern, ci}
+					if cover[k] == nil {
+						cover[k] = bitset.New(len(data))
+					}
+					cover[k].Add(fi)
+				}
+			}
+		}
+	}
+	keys := make([]key, 0, len(cover))
+	for k := range cover {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].pattern != keys[b].pattern {
+			return keys[a].pattern < keys[b].pattern
+		}
+		return keys[a].config < keys[b].config
+	})
+	sets := make([]*bitset.Set, len(keys))
+	for i, k := range keys {
+		sets[i] = cover[k]
+	}
+	target := bitset.New(len(data))
+	for _, fi := range plan.Faults {
+		target.Add(fi)
+	}
+	var chosen []int
+	if opt.Method == ILP {
+		res, err := ilp.SetCover(sets, target, ilp.Options{Deadline: time.Now().Add(opt.budget())})
+		if err != nil {
+			return fmt.Errorf("schedule: combo selection at %s: %w", plan.Period, err)
+		}
+		chosen = res.Selected
+		if !res.Optimal {
+			s.CombosOptimal = false
+		}
+	} else {
+		chosen = ilp.GreedyCover(sets, target)
+		s.CombosOptimal = false
+	}
+	for _, i := range chosen {
+		plan.Combos = append(plan.Combos, Combo{Pattern: keys[i].pattern, Config: keys[i].config})
+	}
+	return nil
+}
+
+// Validate checks that the schedule really covers every fault it claims:
+// each assigned fault must be detected by at least one combo of its
+// period. It returns an error describing the first violation.
+func Validate(data []detect.FaultData, s *Schedule, opt Options) error {
+	delays := opt.Delays
+	if s.Method == Conventional {
+		delays = nil
+	}
+	total := 0
+	for _, plan := range s.Periods {
+		for _, fi := range plan.Faults {
+			ok := false
+			for _, combo := range plan.Combos {
+				for _, pr := range data[fi].Per {
+					if pr.Pattern != combo.Pattern {
+						continue
+					}
+					var rng interval.Set
+					switch {
+					case combo.Config == ConfigFree:
+						rng = pr.CombinedFree(opt.Cfg, delays)
+					case combo.Config >= 0:
+						rng = pr.CombinedAt(opt.Cfg, delays[combo.Config])
+					default:
+						rng = pr.CombinedAt(opt.Cfg, -1)
+					}
+					if rng.Contains(plan.Period) {
+						ok = true
+						break
+					}
+				}
+				if ok {
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("schedule: fault %d not covered at period %s", fi, plan.Period)
+			}
+			total++
+		}
+	}
+	if total != s.Covered {
+		return fmt.Errorf("schedule: covers %d faults, claims %d", total, s.Covered)
+	}
+	return nil
+}

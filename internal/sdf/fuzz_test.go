@@ -1,0 +1,35 @@
+package sdf
+
+import (
+	"strings"
+	"testing"
+
+	"fastmon/internal/cell"
+	"fastmon/internal/circuit"
+)
+
+// FuzzRead checks the SDF reader never panics and that accepted files
+// leave the annotation structurally intact (one delay per pin).
+func FuzzRead(f *testing.F) {
+	f.Add(`(DELAYFILE (CELL (INSTANCE G9) (DELAY (ABSOLUTE (IOPATH A Y (1:2:3))))))`)
+	f.Add(`(DELAYFILE (SDFVERSION "3.0") (DESIGN "s27"))`)
+	f.Add(`(DELAYFILE`)
+	f.Add(`(FOO (BAR))`)
+	f.Add("(DELAYFILE // c\n)")
+	f.Fuzz(func(t *testing.T, src string) {
+		c := circuit.MustParseBench("s27", circuit.S27)
+		lib := cell.NanGate45()
+		a, err := Read(strings.NewReader(src), c, lib)
+		if err != nil {
+			return
+		}
+		for id, g := range c.Gates {
+			if g.Kind == circuit.Input || g.Kind == circuit.DFF {
+				continue
+			}
+			if len(a.Delay[id]) != len(g.Fanin) {
+				t.Fatal("annotation shape corrupted")
+			}
+		}
+	})
+}

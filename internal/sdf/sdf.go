@@ -1,0 +1,301 @@
+// Package sdf reads and writes the Standard Delay Format subset that the
+// fastmon flow uses to exchange timing annotations — the "timing
+// information from standard delay format files" consumed by step (1) of
+// the paper's test flow (Fig. 4).
+//
+// The subset covers DELAYFILE/CELL/DELAY/ABSOLUTE/IOPATH with triple
+// min:typ:max delay values (only typ is used) and a 1 ps timescale. Input
+// pins are named A, B, C, … by pin index; the output port is Y.
+package sdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fastmon/internal/cell"
+	"fastmon/internal/circuit"
+	"fastmon/internal/tunit"
+)
+
+// pinName returns the conventional port name of input pin p (A, B, …, Z,
+// then P26, P27, …).
+func pinName(p int) string {
+	if p < 26 {
+		return string(rune('A' + p))
+	}
+	return fmt.Sprintf("P%d", p)
+}
+
+// pinIndex inverts pinName.
+func pinIndex(s string) (int, error) {
+	if len(s) == 1 && s[0] >= 'A' && s[0] <= 'Z' {
+		return int(s[0] - 'A'), nil
+	}
+	if strings.HasPrefix(s, "P") {
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 26 {
+			return 0, fmt.Errorf("sdf: bad pin name %q", s)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("sdf: bad pin name %q", s)
+}
+
+// Write emits the annotation as an SDF file.
+func Write(w io.Writer, c *circuit.Circuit, a *cell.Annotation) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "(DELAYFILE\n (SDFVERSION \"3.0\")\n (DESIGN \"%s\")\n (TIMESCALE 1ps)\n", c.Name)
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		if g.Kind == circuit.Input || g.Kind == circuit.DFF {
+			continue
+		}
+		fmt.Fprintf(bw, " (CELL\n  (CELLTYPE \"%s\")\n  (INSTANCE %s)\n  (DELAY (ABSOLUTE\n", g.Kind, g.Name)
+		for p := range g.Fanin {
+			e := a.PinDelay(id, p)
+			fmt.Fprintf(bw, "   (IOPATH %s Y (%d:%d:%d) (%d:%d:%d))\n",
+				pinName(p), e.Rise, e.Rise, e.Rise, e.Fall, e.Fall, e.Fall)
+		}
+		fmt.Fprintf(bw, "  ))\n )\n")
+	}
+	fmt.Fprintf(bw, ")\n")
+	return bw.Flush()
+}
+
+// token kinds for the s-expression scanner.
+type token struct {
+	kind byte // '(' ')' 'a' (atom)
+	text string
+	line int
+}
+
+func tokenize(r io.Reader) ([]token, error) {
+	br := bufio.NewReader(r)
+	var toks []token
+	line := 1
+	var atom strings.Builder
+	flush := func() {
+		if atom.Len() > 0 {
+			toks = append(toks, token{kind: 'a', text: atom.String(), line: line})
+			atom.Reset()
+		}
+	}
+	for {
+		ch, _, err := br.ReadRune()
+		if err == io.EOF {
+			flush()
+			return toks, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case ch == '\n':
+			flush()
+			line++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			flush()
+		case ch == '(':
+			flush()
+			toks = append(toks, token{kind: '(', line: line})
+		case ch == ')':
+			flush()
+			toks = append(toks, token{kind: ')', line: line})
+		case ch == '"':
+			// Quoted string atom.
+			var sb strings.Builder
+			for {
+				c2, _, err := br.ReadRune()
+				if err != nil {
+					return nil, fmt.Errorf("sdf:%d: unterminated string", line)
+				}
+				if c2 == '"' {
+					break
+				}
+				sb.WriteRune(c2)
+			}
+			flush()
+			toks = append(toks, token{kind: 'a', text: sb.String(), line: line})
+		case ch == '/':
+			// Allow // comments (non-standard but convenient).
+			if next, _ := br.Peek(1); len(next) == 1 && next[0] == '/' {
+				if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+					return nil, err
+				}
+				flush()
+				line++
+				continue
+			}
+			atom.WriteRune(ch)
+		default:
+			atom.WriteRune(ch)
+		}
+	}
+}
+
+// node is a parsed s-expression: either an atom or a list.
+type node struct {
+	atom string
+	list []node
+	line int
+}
+
+func (n node) isList() bool { return n.atom == "" && n.list != nil }
+
+// head returns the first atom of a list node ("" if none).
+func (n node) head() string {
+	if n.isList() && len(n.list) > 0 && !n.list[0].isList() {
+		return strings.ToUpper(n.list[0].atom)
+	}
+	return ""
+}
+
+func parseSexp(toks []token) (node, error) {
+	pos := 0
+	var parse func() (node, error)
+	parse = func() (node, error) {
+		if pos >= len(toks) {
+			return node{}, fmt.Errorf("sdf: unexpected end of file")
+		}
+		t := toks[pos]
+		pos++
+		switch t.kind {
+		case 'a':
+			return node{atom: t.text, line: t.line}, nil
+		case '(':
+			n := node{list: []node{}, line: t.line}
+			for {
+				if pos >= len(toks) {
+					return node{}, fmt.Errorf("sdf:%d: unbalanced parenthesis", t.line)
+				}
+				if toks[pos].kind == ')' {
+					pos++
+					return n, nil
+				}
+				child, err := parse()
+				if err != nil {
+					return node{}, err
+				}
+				n.list = append(n.list, child)
+			}
+		default:
+			return node{}, fmt.Errorf("sdf:%d: unexpected ')'", t.line)
+		}
+	}
+	root, err := parse()
+	if err != nil {
+		return node{}, err
+	}
+	if pos != len(toks) {
+		return node{}, fmt.Errorf("sdf:%d: trailing tokens after DELAYFILE", toks[pos].line)
+	}
+	return root, nil
+}
+
+// atomOf unwraps a delay-value node: IOPATH values are written as
+// parenthesized triples "(min:typ:max)", which parse as a one-element list.
+func atomOf(n node) string {
+	if n.isList() {
+		if len(n.list) == 1 {
+			return n.list[0].atom
+		}
+		return ""
+	}
+	return n.atom
+}
+
+// parseTriple parses "min:typ:max" and returns the typ value in ps.
+func parseTriple(s string) (tunit.Time, error) {
+	parts := strings.Split(s, ":")
+	pick := parts[0]
+	if len(parts) >= 2 {
+		pick = parts[1]
+	}
+	f, err := strconv.ParseFloat(pick, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sdf: bad delay value %q", s)
+	}
+	return tunit.Time(f + 0.5), nil
+}
+
+// Read parses an SDF file and returns the delay annotation for the given
+// circuit. Instances that do not exist in the circuit are an error, as are
+// IOPATH pins beyond the gate's fanin count. Gates missing from the file
+// keep the library's nominal delays.
+func Read(r io.Reader, c *circuit.Circuit, lib *cell.Library) (*cell.Annotation, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	root, err := parseSexp(toks)
+	if err != nil {
+		return nil, err
+	}
+	if root.head() != "DELAYFILE" {
+		return nil, fmt.Errorf("sdf: root must be DELAYFILE, got %q", root.head())
+	}
+	a := cell.Annotate(c, lib)
+	for _, n := range root.list[1:] {
+		if n.head() != "CELL" {
+			continue
+		}
+		var inst string
+		var paths []node
+		for _, sub := range n.list[1:] {
+			switch sub.head() {
+			case "INSTANCE":
+				if len(sub.list) >= 2 {
+					inst = sub.list[1].atom
+				}
+			case "DELAY":
+				for _, d := range sub.list[1:] {
+					if d.head() == "ABSOLUTE" {
+						paths = append(paths, d.list[1:]...)
+					}
+				}
+			}
+		}
+		if inst == "" {
+			return nil, fmt.Errorf("sdf:%d: CELL without INSTANCE", n.line)
+		}
+		id, ok := c.GateID(inst)
+		if !ok {
+			return nil, fmt.Errorf("sdf:%d: instance %q not in circuit %s", n.line, inst, c.Name)
+		}
+		g := &c.Gates[id]
+		if g.Kind == circuit.Input || g.Kind == circuit.DFF {
+			return nil, fmt.Errorf("sdf:%d: instance %q is not a combinational gate", n.line, inst)
+		}
+		for _, p := range paths {
+			if p.head() != "IOPATH" {
+				continue
+			}
+			if len(p.list) < 4 {
+				return nil, fmt.Errorf("sdf:%d: malformed IOPATH", p.line)
+			}
+			pin, err := pinIndex(strings.ToUpper(p.list[1].atom))
+			if err != nil {
+				return nil, err
+			}
+			if pin >= len(g.Fanin) {
+				return nil, fmt.Errorf("sdf:%d: instance %q has no pin %d", p.line, inst, pin)
+			}
+			rise, err := parseTriple(atomOf(p.list[3]))
+			if err != nil {
+				return nil, err
+			}
+			fall := rise
+			if len(p.list) >= 5 {
+				fall, err = parseTriple(atomOf(p.list[4]))
+				if err != nil {
+					return nil, err
+				}
+			}
+			a.Delay[id][pin] = cell.Edge{Rise: rise, Fall: fall}
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,148 @@
+package sdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fastmon/internal/cell"
+	"fastmon/internal/circuit"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	lib := cell.NanGate45()
+	orig := cell.Annotate(c, lib).WithVariation(0.2, 99)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, c, orig); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Read(&buf, c, lib)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for g := range orig.Delay {
+		if len(orig.Delay[g]) != len(back.Delay[g]) {
+			t.Fatalf("gate %d pin count changed", g)
+		}
+		for p := range orig.Delay[g] {
+			if orig.Delay[g][p] != back.Delay[g][p] {
+				t.Fatalf("gate %d pin %d: %v != %v", g, p, orig.Delay[g][p], back.Delay[g][p])
+			}
+		}
+	}
+}
+
+func TestReadPartialKeepsNominal(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	lib := cell.NanGate45()
+	nominal := cell.Annotate(c, lib)
+	src := `(DELAYFILE (SDFVERSION "3.0") (DESIGN "s27") (TIMESCALE 1ps)
+ (CELL (CELLTYPE "NAND") (INSTANCE G9)
+  (DELAY (ABSOLUTE (IOPATH A Y (111:111:111) (99:99:99))))))`
+	a, err := Read(strings.NewReader(src), c, lib)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	g9, _ := c.GateID("G9")
+	if a.Delay[g9][0].Rise != 111 || a.Delay[g9][0].Fall != 99 {
+		t.Fatalf("annotated delay = %v", a.Delay[g9][0])
+	}
+	// Pin 1 of G9 and other gates keep nominal values.
+	if a.Delay[g9][1] != nominal.Delay[g9][1] {
+		t.Fatal("unannotated pin changed")
+	}
+	g8, _ := c.GateID("G8")
+	if a.Delay[g8][0] != nominal.Delay[g8][0] {
+		t.Fatal("unannotated gate changed")
+	}
+}
+
+func TestReadSingleDelayAppliesBothEdges(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	src := `(DELAYFILE
+ (CELL (INSTANCE G14) (DELAY (ABSOLUTE (IOPATH A Y (77:77:77))))))`
+	a, err := Read(strings.NewReader(src), c, cell.NanGate45())
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	g14, _ := c.GateID("G14")
+	if a.Delay[g14][0].Rise != 77 || a.Delay[g14][0].Fall != 77 {
+		t.Fatalf("delay = %v", a.Delay[g14][0])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	lib := cell.NanGate45()
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown instance", `(DELAYFILE (CELL (INSTANCE nope) (DELAY (ABSOLUTE (IOPATH A Y (1:1:1))))))`},
+		{"missing instance", `(DELAYFILE (CELL (DELAY (ABSOLUTE (IOPATH A Y (1:1:1))))))`},
+		{"pin out of range", `(DELAYFILE (CELL (INSTANCE G14) (DELAY (ABSOLUTE (IOPATH B Y (1:1:1))))))`},
+		{"bad pin name", `(DELAYFILE (CELL (INSTANCE G9) (DELAY (ABSOLUTE (IOPATH 7 Y (1:1:1))))))`},
+		{"bad delay", `(DELAYFILE (CELL (INSTANCE G9) (DELAY (ABSOLUTE (IOPATH A Y (x:y:z))))))`},
+		{"input annotated", `(DELAYFILE (CELL (INSTANCE G0) (DELAY (ABSOLUTE (IOPATH A Y (1:1:1))))))`},
+		{"not delayfile", `(FOO)`},
+		{"unbalanced", `(DELAYFILE (CELL`},
+		{"trailing", `(DELAYFILE) extra`},
+		{"malformed iopath", `(DELAYFILE (CELL (INSTANCE G9) (DELAY (ABSOLUTE (IOPATH A)))))`},
+		{"unterminated string", `(DELAYFILE (SDFVERSION "3.0`},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.src), c, lib); err == nil {
+			t.Errorf("%s: Read accepted %q", tc.name, tc.src)
+		}
+	}
+}
+
+func TestPinNames(t *testing.T) {
+	for _, tc := range []struct {
+		p    int
+		name string
+	}{{0, "A"}, {1, "B"}, {25, "Z"}, {26, "P26"}, {40, "P40"}} {
+		if got := pinName(tc.p); got != tc.name {
+			t.Errorf("pinName(%d) = %q, want %q", tc.p, got, tc.name)
+		}
+		back, err := pinIndex(tc.name)
+		if err != nil || back != tc.p {
+			t.Errorf("pinIndex(%q) = %d,%v", tc.name, back, err)
+		}
+	}
+	if _, err := pinIndex("P1"); err == nil {
+		t.Error("pinIndex accepted P1 (reserved for letters)")
+	}
+	if _, err := pinIndex("ab"); err == nil {
+		t.Error("pinIndex accepted lowercase junk")
+	}
+}
+
+func TestCommentsTolerated(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	src := "(DELAYFILE // header comment\n (CELL (INSTANCE G14) (DELAY (ABSOLUTE (IOPATH A Y (50:50:50))))))"
+	a, err := Read(strings.NewReader(src), c, cell.NanGate45())
+	if err != nil {
+		t.Fatalf("Read with comment: %v", err)
+	}
+	g14, _ := c.GateID("G14")
+	if a.Delay[g14][0].Rise != 50 {
+		t.Fatalf("delay = %v", a.Delay[g14][0])
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	c := circuit.MustGenerate(circuit.GenSpec{Name: "g", Gates: 60, FFs: 6, Inputs: 5, Outputs: 4, Depth: 8, Seed: 1})
+	a := cell.Annotate(c, cell.NanGate45())
+	var b1, b2 bytes.Buffer
+	if err := Write(&b1, c, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b2, c, a); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("SDF output not deterministic")
+	}
+}

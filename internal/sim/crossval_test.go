@@ -1,0 +1,130 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastmon/internal/cell"
+	"fastmon/internal/circuit"
+	"fastmon/internal/fault"
+	"fastmon/internal/logic"
+	"fastmon/internal/sim"
+	"fastmon/internal/sta"
+	"fastmon/internal/tunit"
+)
+
+// TestCrossValidateLogicVsWaveform checks the two fault simulators against
+// each other: a transition fault detected by the zero-delay gross-delay
+// model (package logic) must be detected by the waveform simulator when
+// the injected delay is large enough to hold the site at its V1 value
+// through the capture edge — and with a huge horizon the final faulty
+// value at some tap must differ exactly when logic says so.
+func TestCrossValidateLogicVsWaveform(t *testing.T) {
+	c := circuit.MustGenerate(circuit.GenSpec{
+		Name: "xval", Gates: 250, FFs: 20, Inputs: 10, Outputs: 8, Depth: 12, Seed: 31,
+	})
+	lib := cell.NanGate45()
+	a := cell.Annotate(c, lib)
+	r := sta.Analyze(c, a)
+	clk := r.NominalClock(0.05)
+	e := sim.NewEngine(c, a)
+	faults := fault.Sample(fault.Universe(c), 7)
+	rng := rand.New(rand.NewSource(3))
+	nsrc := len(c.Sources())
+
+	pats := make([]sim.Pattern, 16)
+	for i := range pats {
+		pats[i] = sim.Pattern{V1: make([]bool, nsrc), V2: make([]bool, nsrc)}
+		for j := 0; j < nsrc; j++ {
+			pats[i].V1[j] = rng.Intn(2) == 1
+			pats[i].V2[j] = rng.Intn(2) == 1
+		}
+	}
+	batch := logic.NewBatch(c, pats, 0)
+
+	// A delta far beyond the clock makes the small-delay fault behave like
+	// a gross transition fault at capture time clk.
+	delta := 10 * clk
+	agree, disagree := 0, 0
+	for _, f := range faults {
+		det := batch.DetectTransition(f)
+		for pi := range pats {
+			logicSays := det>>uint(pi)&1 == 1
+			base, err := e.Baseline(pats[pi])
+			if err != nil {
+				t.Fatal(err)
+			}
+			dets := e.FaultSim(base, f.Injection(delta), clk+1)
+			waveSays := false
+			for _, d := range dets {
+				if d.Diff.Contains(clk) {
+					waveSays = true
+					break
+				}
+			}
+			// The waveform model can only detect MORE than the gross
+			// model at the capture instant if hazards expose the fault;
+			// it must never detect less.
+			if logicSays && !waveSays {
+				t.Fatalf("fault %s pattern %d: logic detects, waveform does not", f.Name(c), pi)
+			}
+			if logicSays == waveSays {
+				agree++
+			} else {
+				disagree++
+			}
+		}
+	}
+	if agree == 0 {
+		t.Fatal("no agreement data at all")
+	}
+	// Hazard-only detections exist but must be a small minority.
+	if disagree > agree/4 {
+		t.Fatalf("simulators diverge too much: %d agree, %d disagree", agree, disagree)
+	}
+}
+
+// TestWaveformSmallDeltaSubsetOfGross checks monotonicity across models: a
+// capture-time detection with the real (small) δ implies a detection with
+// the gross δ under the same pattern, fault and tap set — unless the small
+// delay creates a hazard-window detection that the settled gross model
+// cannot see. We therefore compare settled values only (horizon beyond all
+// activity).
+func TestWaveformSmallDeltaSubsetOfGross(t *testing.T) {
+	c := circuit.MustGenerate(circuit.GenSpec{
+		Name: "xval2", Gates: 150, FFs: 12, Inputs: 8, Outputs: 6, Depth: 10, Seed: 32,
+	})
+	lib := cell.NanGate45()
+	a := cell.Annotate(c, lib)
+	r := sta.Analyze(c, a)
+	clk := r.NominalClock(0.05)
+	e := sim.NewEngine(c, a)
+	faults := fault.Sample(fault.Universe(c), 5)
+	rng := rand.New(rand.NewSource(4))
+	nsrc := len(c.Sources())
+	delta := lib.FaultSize()
+	far := tunit.Time(100) * clk
+
+	for trial := 0; trial < 8; trial++ {
+		p := sim.Pattern{V1: make([]bool, nsrc), V2: make([]bool, nsrc)}
+		for j := 0; j < nsrc; j++ {
+			p.V1[j] = rng.Intn(2) == 1
+			p.V2[j] = rng.Intn(2) == 1
+		}
+		base, err := e.Baseline(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range faults {
+			// With a finite small delay the circuit must settle to the
+			// fault-free final values: small delay faults never change
+			// logic function, only timing.
+			dets := e.FaultSim(base, f.Injection(delta), far)
+			for _, d := range dets {
+				if d.Diff.Contains(far - 1) {
+					t.Fatalf("fault %s changed the settled value", f.Name(c))
+				}
+			}
+		}
+	}
+}

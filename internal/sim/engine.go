@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"fastmon/internal/cell"
+	"fastmon/internal/circuit"
+	"fastmon/internal/interval"
+	"fastmon/internal/tunit"
+)
+
+// Pattern is a two-vector (launch/capture) test: V1 is applied and settled,
+// then at t=0 the sources switch to V2. Both vectors are indexed by the
+// circuit's source order (primary inputs first, then scan flip-flops) —
+// the enhanced-scan pattern-pair model the ATPG substrate generates.
+type Pattern struct {
+	V1, V2 []bool
+}
+
+// Injection describes a small delay fault for simulation purposes: the
+// rising (or falling) transitions of the signal at the site are delayed by
+// Delta. Pin -1 places the fault on the gate output, otherwise on the
+// given input pin of the gate.
+type Injection struct {
+	Gate   int
+	Pin    int // -1 = output pin
+	Rising bool
+	Delta  tunit.Time
+}
+
+func (in Injection) String() string {
+	edge := "str" // slow-to-rise
+	if !in.Rising {
+		edge = "stf"
+	}
+	if in.Pin < 0 {
+		return fmt.Sprintf("g%d/out/%s+%s", in.Gate, edge, in.Delta)
+	}
+	return fmt.Sprintf("g%d/in%d/%s+%s", in.Gate, in.Pin, edge, in.Delta)
+}
+
+// Engine simulates one annotated circuit. It caches the tap table and the
+// per-gate tap observers so that fault simulation touches only the fanout
+// cone of the injection site.
+type Engine struct {
+	C        *circuit.Circuit
+	A        *cell.Annotation
+	MinPulse tunit.Time
+
+	taps       []circuit.Tap
+	tapsByGate map[int][]int // observed gate -> tap indices
+}
+
+// NewEngine builds a simulation engine; the inertial pulse threshold comes
+// from the cell library.
+func NewEngine(c *circuit.Circuit, a *cell.Annotation) *Engine {
+	e := &Engine{C: c, A: a, MinPulse: a.Lib.MinPulse(), taps: c.Taps(),
+		tapsByGate: map[int][]int{}}
+	for i, tap := range e.taps {
+		e.tapsByGate[tap.Gate] = append(e.tapsByGate[tap.Gate], i)
+	}
+	return e
+}
+
+// Taps returns the observation points of the engine's circuit, in
+// canonical order.
+func (e *Engine) Taps() []circuit.Tap { return e.taps }
+
+// launchTime returns the time at which source gate id switches from V1 to
+// V2: primary inputs switch with the launch edge at t=0, scan flip-flop
+// outputs after their clock-to-output delay.
+func (e *Engine) launchTime(id int) tunit.Time {
+	if e.C.Gates[id].Kind == circuit.DFF {
+		return e.A.Lib.ClkToQ
+	}
+	return 0
+}
+
+// Baseline computes the fault-free waveform of every gate for the pattern
+// pair. The returned slice is indexed by gate ID.
+func (e *Engine) Baseline(p Pattern) ([]Waveform, error) {
+	src := e.C.Sources()
+	if len(p.V1) != len(src) || len(p.V2) != len(src) {
+		return nil, fmt.Errorf("sim: pattern has %d/%d values for %d sources", len(p.V1), len(p.V2), len(src))
+	}
+	wf := make([]Waveform, len(e.C.Gates))
+	for i, id := range src {
+		wf[id] = Step(p.V1[i], p.V2[i], e.launchTime(id))
+	}
+	ins := make([]Waveform, 0, 8)
+	for _, id := range e.C.Topo() {
+		g := &e.C.Gates[id]
+		ins = ins[:0]
+		for _, f := range g.Fanin {
+			ins = append(ins, wf[f])
+		}
+		wf[id] = EvalGate(g.Kind, ins, e.A.Delay[id], e.MinPulse)
+	}
+	return wf, nil
+}
+
+// Detection is the result of simulating one fault under one pattern: the
+// per-tap interval sets where the faulty output value differs from the
+// fault-free one. Only taps with non-empty difference appear.
+type Detection struct {
+	Tap  int // tap index
+	Diff interval.Set
+}
+
+// FaultSim simulates the injection against precomputed fault-free
+// waveforms and returns the detection intervals at every observation point
+// the fault reaches, clipped to [0, horizon). The baseline slice must come
+// from Baseline on the same engine.
+func (e *Engine) FaultSim(base []Waveform, inj Injection, horizon tunit.Time) []Detection {
+	g := inj.Gate
+	gate := &e.C.Gates[g]
+
+	var fw Waveform
+	switch {
+	case inj.Pin < 0:
+		fw = base[g].DelayTransitions(inj.Delta, inj.Rising).FilterPulses(e.MinPulse)
+	default:
+		if inj.Pin >= len(gate.Fanin) {
+			return nil
+		}
+		ins := make([]Waveform, len(gate.Fanin))
+		for p, f := range gate.Fanin {
+			ins[p] = base[f]
+		}
+		ins[inj.Pin] = ins[inj.Pin].DelayTransitions(inj.Delta, inj.Rising)
+		fw = EvalGate(gate.Kind, ins, e.A.Delay[g], e.MinPulse)
+	}
+	if fw.Equal(base[g]) {
+		return nil
+	}
+
+	faulty := map[int]Waveform{g: fw}
+	for _, id := range e.C.FanoutCone(g) {
+		cg := &e.C.Gates[id]
+		touched := false
+		for _, f := range cg.Fanin {
+			if _, ok := faulty[f]; ok {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		ins := make([]Waveform, len(cg.Fanin))
+		for p, f := range cg.Fanin {
+			if w, ok := faulty[f]; ok {
+				ins[p] = w
+			} else {
+				ins[p] = base[f]
+			}
+		}
+		nw := EvalGate(cg.Kind, ins, e.A.Delay[id], e.MinPulse)
+		if !nw.Equal(base[id]) {
+			faulty[id] = nw
+		}
+	}
+
+	var out []Detection
+	for fg, w := range faulty {
+		tapIdxs, ok := e.tapsByGate[fg]
+		if !ok {
+			continue
+		}
+		diff := base[fg].Diff(w, horizon)
+		if diff.Empty() {
+			continue
+		}
+		for _, ti := range tapIdxs {
+			out = append(out, Detection{Tap: ti, Diff: diff})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tap < out[j].Tap })
+	return out
+}

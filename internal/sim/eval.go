@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fastmon/internal/cell"
+	"fastmon/internal/circuit"
+	"fastmon/internal/tunit"
+)
+
+// EvalGate computes the output waveform of a gate from its input waveforms
+// and per-pin rise/fall delays. Input events are merged in time order; each
+// change of the gate function schedules an output event after the delay of
+// the toggling pin (for the resulting output edge); an event with an
+// earlier effective time cancels previously scheduled later events (the
+// classic waveform-cancellation rule); finally pulses shorter than
+// minPulse are filtered inertially.
+//
+// delays[p] is the pin-to-output delay for input pin p; Rise/Fall refer to
+// the *output* transition direction.
+func EvalGate(kind circuit.Kind, inputs []Waveform, delays []cell.Edge, minPulse tunit.Time) Waveform {
+	vals := make([]bool, len(inputs))
+	pos := make([]int, len(inputs))
+	for i, w := range inputs {
+		vals[i] = w.Init
+	}
+	initOut := kind.Eval(vals)
+
+	var sched []tunit.Time // toggle times of the scheduled output
+	schedVal := initOut    // value after the last scheduled toggle
+	toggled := make([]int, 0, 4)
+
+	for {
+		// Next event time over all inputs.
+		t := tunit.Infinity
+		for i, w := range inputs {
+			if pos[i] < len(w.T) && w.T[pos[i]] < t {
+				t = w.T[pos[i]]
+			}
+		}
+		if t == tunit.Infinity {
+			break
+		}
+		toggled = toggled[:0]
+		for i, w := range inputs {
+			if pos[i] < len(w.T) && w.T[pos[i]] == t {
+				vals[i] = !vals[i]
+				pos[i]++
+				toggled = append(toggled, i)
+			}
+		}
+		newOut := kind.Eval(vals)
+		// Delay of the earliest-acting toggled pin for this output edge.
+		d := tunit.Infinity
+		for _, p := range toggled {
+			var pd tunit.Time
+			if newOut {
+				pd = delays[p].Rise
+			} else {
+				pd = delays[p].Fall
+			}
+			if pd < d {
+				d = pd
+			}
+		}
+		eff := t + d
+		// Cancellation: a new event at or before a scheduled one overtakes
+		// it. This also lets a faster pin re-confirm the same output value
+		// earlier (e.g. the second rising input of an OR gate).
+		for len(sched) > 0 && sched[len(sched)-1] >= eff {
+			sched = sched[:len(sched)-1]
+			schedVal = !schedVal
+		}
+		if newOut != schedVal {
+			sched = append(sched, eff)
+			schedVal = newOut
+		}
+	}
+	return Waveform{Init: initOut, T: sched}.FilterPulses(minPulse)
+}

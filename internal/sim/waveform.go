@@ -1,0 +1,217 @@
+// Package sim implements timing-accurate gate-level simulation on signal
+// waveforms — the CPU substitute for the GPU-accelerated small-delay fault
+// simulator the paper uses [20]. A waveform is an initial logic value plus
+// a strictly increasing list of toggle times; gate evaluation merges input
+// events in time order, schedules output events after pin- and
+// edge-specific delays, cancels overtaken events and applies inertial
+// pulse filtering. Small delay faults are injected by delaying the rising
+// or falling transitions of the waveform at the fault site and
+// re-simulating only the fanout cone.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastmon/internal/interval"
+	"fastmon/internal/tunit"
+)
+
+// Waveform is a two-valued signal over time: value Init before T[0], then
+// toggling at each time in T. T is strictly increasing.
+type Waveform struct {
+	Init bool
+	T    []tunit.Time
+}
+
+// Const returns a constant waveform.
+func Const(v bool) Waveform { return Waveform{Init: v} }
+
+// Step returns a waveform with value v1 before t and v2 afterwards.
+// If v1 == v2 the waveform is constant.
+func Step(v1, v2 bool, t tunit.Time) Waveform {
+	if v1 == v2 {
+		return Const(v1)
+	}
+	return Waveform{Init: v1, T: []tunit.Time{t}}
+}
+
+// At returns the value of the waveform at time t (toggles take effect at
+// their own time: w.At(T[i]) already reflects toggle i).
+func (w Waveform) At(t tunit.Time) bool {
+	// Number of toggles with time <= t.
+	n := sort.Search(len(w.T), func(i int) bool { return w.T[i] > t })
+	return w.Init != (n%2 == 1)
+}
+
+// Final returns the settled value after all toggles.
+func (w Waveform) Final() bool {
+	return w.Init != (len(w.T)%2 == 1)
+}
+
+// Toggles returns the number of transitions.
+func (w Waveform) Toggles() int { return len(w.T) }
+
+// LastToggle returns the time of the final transition, or 0 for constant
+// waveforms.
+func (w Waveform) LastToggle() tunit.Time {
+	if len(w.T) == 0 {
+		return 0
+	}
+	return w.T[len(w.T)-1]
+}
+
+// Equal reports whether two waveforms describe the same signal.
+func (w Waveform) Equal(o Waveform) bool {
+	if w.Init != o.Init || len(w.T) != len(o.T) {
+		return false
+	}
+	for i := range w.T {
+		if w.T[i] != o.T[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether the toggle list is strictly increasing (the
+// Waveform invariant). It exists for property tests.
+func (w Waveform) Valid() bool {
+	for i := 1; i < len(w.T); i++ {
+		if w.T[i-1] >= w.T[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (w Waveform) String() string {
+	var sb strings.Builder
+	v := 0
+	if w.Init {
+		v = 1
+	}
+	fmt.Fprintf(&sb, "%d", v)
+	for _, t := range w.T {
+		v = 1 - v
+		fmt.Fprintf(&sb, "@%s→%d", t, v)
+	}
+	return sb.String()
+}
+
+// FilterPulses removes pulses shorter than minPulse using the standard
+// inertial-delay stack filter: a toggle arriving within minPulse of the
+// previous one cancels it (the pulse is absorbed by the cell and never
+// propagates). Cancellation cascades, so the result never contains a pulse
+// shorter than minPulse.
+func (w Waveform) FilterPulses(minPulse tunit.Time) Waveform {
+	if minPulse <= 0 || len(w.T) < 2 {
+		return w
+	}
+	out := make([]tunit.Time, 0, len(w.T))
+	for _, t := range w.T {
+		if n := len(out); n > 0 && t-out[n-1] < minPulse {
+			out = out[:n-1]
+			continue
+		}
+		out = append(out, t)
+	}
+	return Waveform{Init: w.Init, T: out}
+}
+
+// highIntervals converts the waveform to the set of times where it is 1,
+// using ±Infinity sentinels for unbounded ends.
+func (w Waveform) highIntervals() []interval.Interval {
+	var out []interval.Interval
+	v := w.Init
+	prev := -tunit.Infinity
+	for _, t := range w.T {
+		if v {
+			out = append(out, interval.Interval{Lo: prev, Hi: t})
+		}
+		prev, v = t, !v
+	}
+	if v {
+		out = append(out, interval.Interval{Lo: prev, Hi: tunit.Infinity})
+	}
+	return out
+}
+
+// fromHighIntervals rebuilds a waveform from a canonical high-interval set.
+func fromHighIntervals(s interval.Set) Waveform {
+	var w Waveform
+	for _, iv := range s.Intervals() {
+		if iv.Lo == -tunit.Infinity {
+			w.Init = true
+		} else {
+			w.T = append(w.T, iv.Lo)
+		}
+		if iv.Hi != tunit.Infinity {
+			w.T = append(w.T, iv.Hi)
+		}
+	}
+	return w
+}
+
+// DelayTransitions returns the waveform with every rising (if rising) or
+// falling transition delayed by delta — the behavioural effect of a small
+// delay fault of size delta at this site. Transitions that are overtaken
+// by the opposite edge disappear (a short pulse is swallowed by the
+// fault), matching the physical lumped-delay model.
+func (w Waveform) DelayTransitions(delta tunit.Time, rising bool) Waveform {
+	if delta == 0 || len(w.T) == 0 {
+		return w
+	}
+	his := w.highIntervals()
+	shifted := make([]interval.Interval, 0, len(his))
+	for _, iv := range his {
+		if rising {
+			if iv.Lo != -tunit.Infinity {
+				iv.Lo += delta
+			}
+		} else {
+			if iv.Hi != tunit.Infinity {
+				iv.Hi += delta
+			}
+		}
+		shifted = append(shifted, iv)
+	}
+	return fromHighIntervals(interval.New(shifted...))
+}
+
+// Diff returns the set of times where w and o carry different values,
+// clipped to [0, horizon). This is the XOR of the fault-free and faulty
+// output waveforms that defines the detection range of a fault at this
+// output.
+func (w Waveform) Diff(o Waveform, horizon tunit.Time) interval.Set {
+	differs := w.Init != o.Init
+	var ivs []interval.Interval
+	start := -tunit.Infinity
+	i, j := 0, 0
+	emit := func(end tunit.Time) {
+		if differs {
+			ivs = append(ivs, interval.Interval{Lo: start, Hi: end})
+		}
+	}
+	for i < len(w.T) || j < len(o.T) {
+		var t tunit.Time
+		switch {
+		case j >= len(o.T) || (i < len(w.T) && w.T[i] < o.T[j]):
+			t = w.T[i]
+			i++
+		case i >= len(w.T) || o.T[j] < w.T[i]:
+			t = o.T[j]
+			j++
+		default: // simultaneous toggles cancel
+			i++
+			j++
+			continue
+		}
+		emit(t)
+		differs = !differs
+		start = t
+	}
+	emit(tunit.Infinity)
+	return interval.New(ivs...).Clip(0, horizon)
+}

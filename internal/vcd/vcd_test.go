@@ -1,0 +1,109 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fastmon/internal/cell"
+	"fastmon/internal/circuit"
+	"fastmon/internal/sim"
+	"fastmon/internal/tunit"
+)
+
+func TestIDCode(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		code := idCode(i)
+		if code == "" || seen[code] {
+			t.Fatalf("idCode(%d) = %q duplicate/empty", i, code)
+		}
+		seen[code] = true
+		for _, ch := range code {
+			if ch < '!' || ch > '~' {
+				t.Fatalf("idCode(%d) = %q not printable", i, code)
+			}
+		}
+	}
+	if idCode(0) != "!" || idCode(93) != "~" {
+		t.Fatalf("base codes wrong: %q %q", idCode(0), idCode(93))
+	}
+	if len(idCode(94)) != 2 {
+		t.Fatalf("idCode(94) = %q, want 2 chars", idCode(94))
+	}
+}
+
+func TestWrite(t *testing.T) {
+	sigs := []Signal{
+		{Name: "a", Wave: sim.Waveform{Init: false, T: []tunit.Time{10, 30}}},
+		{Name: "b", Wave: sim.Waveform{Init: true, T: []tunit.Time{10}}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "tb", sigs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$scope module tb $end",
+		"$var wire 1 ! a $end",
+		"$var wire 1 \" b $end",
+		"$dumpvars",
+		"#10",
+		"#30",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Simultaneous toggles at #10 must share one timestamp line.
+	if strings.Count(out, "#10") != 1 {
+		t.Fatalf("duplicate timestamp:\n%s", out)
+	}
+	// Initial values dumped: a=0, b=1.
+	if !strings.Contains(out, "0!") || !strings.Contains(out, "1\"") {
+		t.Fatalf("initial values missing:\n%s", out)
+	}
+}
+
+func TestWriteEmptyScope(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "$scope module fastmon $end") {
+		t.Fatal("default scope missing")
+	}
+}
+
+func TestFromBaseline(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	e := sim.NewEngine(c, cell.Annotate(c, cell.NanGate45()))
+	n := len(c.Sources())
+	p := sim.Pattern{V1: make([]bool, n), V2: make([]bool, n)}
+	for i := range p.V2 {
+		p.V2[i] = true
+	}
+	wfs, err := e.Baseline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := FromBaseline(c, wfs, []string{"G17", "G9"})
+	if err != nil || len(sigs) != 2 || sigs[0].Name != "G17" {
+		t.Fatalf("sigs=%v err=%v", sigs, err)
+	}
+	if _, err := FromBaseline(c, wfs, []string{"nope"}); err == nil {
+		t.Fatal("unknown signal accepted")
+	}
+	all, err := FromBaseline(c, wfs, nil)
+	if err != nil || len(all) != len(c.Gates) {
+		t.Fatal("full dump wrong")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "s27", all); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty dump")
+	}
+}

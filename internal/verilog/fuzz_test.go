@@ -1,0 +1,35 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the Verilog front end never panics and that accepted
+// sources produce structurally valid circuits.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleNamed)
+	f.Add(samplePrimitive)
+	f.Add(hierSrc)
+	f.Add("module m (a); input a; endmodule")
+	f.Add("module m (a, y); input a; output y; INV_X1 u (.A1(a), .ZN(y)); endmodule")
+	f.Add("/* */ module x (p); input p; endmodule module y (q); input q; x u (.P(q)); endmodule")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Accepted circuits must be internally consistent: every fanin
+		// resolves and the topological order covers all gates.
+		if len(c.Topo()) != c.NumGates() {
+			t.Fatal("topological order incomplete")
+		}
+		for _, g := range c.Gates {
+			for _, fi := range g.Fanin {
+				if fi < 0 || fi >= len(c.Gates) {
+					t.Fatal("fanin out of range")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,356 @@
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fastmon/internal/circuit"
+)
+
+// module is the parsed form of one Verilog module before elaboration.
+type module struct {
+	name    string
+	ports   []string // header order
+	inputs  []string
+	outputs []string
+	insts   []inst
+}
+
+type inst struct {
+	cell, name string
+	positional []string
+	named      map[string]string
+	order      []string
+}
+
+// parseModules reads every module of a source file.
+func parseModules(name string, r io.Reader) ([]*module, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, name: name}
+	var mods []*module
+	for p.peek() != "" {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, m)
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("verilog:%s: no modules found", name)
+	}
+	return mods, nil
+}
+
+// parseModule consumes one "module … endmodule" block.
+func (p *parser) parseModule() (*module, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	m := &module{name: p.next()}
+	if m.name == "" {
+		return nil, p.errf("missing module name")
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for p.peek() != ")" {
+		t := p.next()
+		if t == "" {
+			return nil, p.errf("unterminated port list")
+		}
+		if t != "," {
+			m.ports = append(m.ports, t)
+		}
+	}
+	p.next() // ')'
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	for {
+		kw := p.next()
+		switch kw {
+		case "endmodule":
+			return m, nil
+		case "":
+			return nil, p.errf("missing endmodule in %s", m.name)
+		case "input":
+			ns, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			m.inputs = append(m.inputs, ns...)
+		case "output":
+			ns, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			m.outputs = append(m.outputs, ns...)
+		case "wire":
+			if _, err := p.identList(); err != nil {
+				return nil, err
+			}
+		default:
+			in := inst{cell: kw, name: p.next()}
+			if in.name == "" || in.name == "(" {
+				return nil, p.errf("missing instance name for cell %q", kw)
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			if p.peek() == "." {
+				in.named = map[string]string{}
+				for {
+					if err := p.expect("."); err != nil {
+						return nil, err
+					}
+					port := p.next()
+					if err := p.expect("("); err != nil {
+						return nil, err
+					}
+					net := p.next()
+					if err := p.expect(")"); err != nil {
+						return nil, err
+					}
+					in.named[strings.ToUpper(port)] = net
+					in.order = append(in.order, strings.ToUpper(port))
+					if p.peek() == "," {
+						p.next()
+						continue
+					}
+					break
+				}
+			} else {
+				for {
+					n := p.next()
+					if n == "" || n == ")" || n == "," {
+						p.pos--
+						return nil, p.errf("expected net in instantiation of %q", kw)
+					}
+					in.positional = append(in.positional, n)
+					if p.peek() == "," {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			m.insts = append(m.insts, in)
+		}
+	}
+}
+
+// flatGate is one elaborated primitive before wiring.
+type flatGate struct {
+	kind   circuit.Kind
+	out    string
+	fanin  []string
+	instPb string // instance path, for error messages
+}
+
+// elaborate expands the instance tree of `top` into a flat primitive list.
+// Instance-local nets are prefixed with the hierarchical path; module port
+// nets are substituted with the parent's nets.
+func elaborate(mods map[string]*module, top *module, prefix string,
+	bind map[string]string, out *[]flatGate, depth int) error {
+
+	if depth > 64 {
+		return fmt.Errorf("verilog: module %s: instantiation depth exceeds 64 (recursive hierarchy?)", top.name)
+	}
+	resolve := func(n string) string {
+		if g, ok := bind[n]; ok {
+			return g
+		}
+		return prefix + n
+	}
+	for _, in := range top.insts {
+		if sub, ok := mods[in.cell]; ok {
+			// Submodule instance: build the port binding.
+			subBind := map[string]string{}
+			switch {
+			case in.named != nil:
+				for port, net := range in.named {
+					// Port names were upper-cased by the tokenizer pass;
+					// match case-insensitively against declared ports.
+					matched := false
+					for _, sp := range sub.ports {
+						if strings.EqualFold(sp, port) {
+							subBind[sp] = resolve(net)
+							matched = true
+							break
+						}
+					}
+					if !matched {
+						return fmt.Errorf("verilog: instance %s of %s has unknown port %q", in.name, sub.name, port)
+					}
+				}
+			default:
+				if len(in.positional) != len(sub.ports) {
+					return fmt.Errorf("verilog: instance %s of %s has %d ports, want %d",
+						in.name, sub.name, len(in.positional), len(sub.ports))
+				}
+				for i, net := range in.positional {
+					subBind[sub.ports[i]] = resolve(net)
+				}
+			}
+			// Unconnected ports become instance-local dangling nets.
+			for _, sp := range sub.ports {
+				if _, ok := subBind[sp]; !ok {
+					subBind[sp] = prefix + in.name + "/" + sp
+				}
+			}
+			if err := elaborate(mods, sub, prefix+in.name+"/", subBind, out, depth+1); err != nil {
+				return err
+			}
+			continue
+		}
+		kind, ok := cellKind(in.cell)
+		if !ok {
+			return fmt.Errorf("verilog: unknown cell or module %q (instance %s%s)", in.cell, prefix, in.name)
+		}
+		outNet, fanin, err := instPins(in, kind)
+		if err != nil {
+			return fmt.Errorf("verilog: instance %s%s: %w", prefix, in.name, err)
+		}
+		fg := flatGate{kind: kind, out: resolve(outNet), instPb: prefix + in.name}
+		for _, f := range fanin {
+			fg.fanin = append(fg.fanin, resolve(f))
+		}
+		*out = append(*out, fg)
+	}
+	return nil
+}
+
+// instPins extracts the output net and input nets of a primitive instance.
+func instPins(in inst, kind circuit.Kind) (outNet string, fanin []string, err error) {
+	if in.named != nil {
+		ok := false
+		for _, alt := range []string{outputPort(kind), "ZN", "Z", "Q", "Y", "OUT"} {
+			if n, ok2 := in.named[alt]; ok2 {
+				outNet = n
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return "", nil, fmt.Errorf("no output port")
+		}
+		if kind == circuit.DFF {
+			d, okD := in.named["D"]
+			if !okD {
+				return "", nil, fmt.Errorf("DFF has no D port")
+			}
+			return outNet, []string{d}, nil
+		}
+		for _, port := range in.order {
+			switch port {
+			case "ZN", "Z", "Q", "Y", "OUT", "CK", "CLK", "RN", "SN", "SE", "SI":
+				continue
+			}
+			fanin = append(fanin, in.named[port])
+		}
+		return outNet, fanin, nil
+	}
+	if len(in.positional) < 2 {
+		return "", nil, fmt.Errorf("needs at least 2 ports")
+	}
+	outNet = in.positional[0]
+	fanin = in.positional[1:]
+	if kind == circuit.DFF {
+		fanin = fanin[:1]
+	}
+	return outNet, fanin, nil
+}
+
+// ParseHierarchy reads a multi-module structural Verilog file and flattens
+// it into a single circuit. The top module is topName, or, when empty, the
+// unique module that no other module instantiates.
+func ParseHierarchy(name string, r io.Reader, topName string) (*circuit.Circuit, error) {
+	modList, err := parseModules(name, r)
+	if err != nil {
+		return nil, err
+	}
+	mods := map[string]*module{}
+	for _, m := range modList {
+		if _, dup := mods[m.name]; dup {
+			return nil, fmt.Errorf("verilog:%s: module %q defined twice", name, m.name)
+		}
+		mods[m.name] = m
+	}
+	var top *module
+	if topName != "" {
+		top = mods[topName]
+		if top == nil {
+			return nil, fmt.Errorf("verilog:%s: top module %q not found", name, topName)
+		}
+	} else {
+		instantiated := map[string]bool{}
+		for _, m := range modList {
+			for _, in := range m.insts {
+				if _, ok := mods[in.cell]; ok {
+					instantiated[in.cell] = true
+				}
+			}
+		}
+		var roots []*module
+		for _, m := range modList {
+			if !instantiated[m.name] {
+				roots = append(roots, m)
+			}
+		}
+		if len(roots) != 1 {
+			return nil, fmt.Errorf("verilog:%s: cannot infer top module (found %d candidates); pass the name explicitly", name, len(roots))
+		}
+		top = roots[0]
+	}
+
+	var gates []flatGate
+	bind := map[string]string{}
+	for _, port := range top.ports {
+		bind[port] = port // top-level nets keep their names
+	}
+	if err := elaborate(mods, top, "", bind, &gates, 0); err != nil {
+		return nil, err
+	}
+
+	c := circuit.New(top.name)
+	for _, i := range top.inputs {
+		c.AddGate(i, circuit.Input)
+	}
+	ids := make([]int, len(gates))
+	for gi, fg := range gates {
+		if _, dup := c.GateID(fg.out); dup {
+			return nil, fmt.Errorf("verilog:%s: net %q driven twice (instance %s)", name, fg.out, fg.instPb)
+		}
+		ids[gi] = c.AddGate(fg.out, fg.kind)
+	}
+	for gi, fg := range gates {
+		for _, f := range fg.fanin {
+			fid, ok := c.GateID(f)
+			if !ok {
+				return nil, fmt.Errorf("verilog:%s: net %q is never driven (instance %s)", name, f, fg.instPb)
+			}
+			c.Gates[ids[gi]].Fanin = append(c.Gates[ids[gi]].Fanin, fid)
+		}
+	}
+	for _, o := range top.outputs {
+		id, ok := c.GateID(o)
+		if !ok {
+			return nil, fmt.Errorf("verilog:%s: output %q is never driven", name, o)
+		}
+		c.MarkOutput(id)
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,295 @@
+// Package verilog reads and writes structural gate-level Verilog — the
+// netlist format a synthesis flow (the paper synthesizes with the NanGate
+// 45nm library) actually produces. Two instantiation styles are accepted:
+//
+//	nand g9 (G9, G16, G15);            // Verilog primitives, output first
+//	NAND2_X1 u42 (.A(n1), .B(n2), .ZN(n3));  // NanGate-style cells
+//	DFF_X1 ff3 (.D(n9), .CK(clk), .Q(n10));  // scan flip-flops
+//
+// The writer emits the NanGate style. Clock/reset ports of flip-flops are
+// accepted and ignored (the full-scan model clocks implicitly).
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"unicode"
+
+	"fastmon/internal/circuit"
+)
+
+// cellKind maps a cell-type name to a gate kind. NanGate names carry a
+// function prefix and a drive-strength suffix (NAND2_X1).
+func cellKind(cell string) (circuit.Kind, bool) {
+	u := strings.ToUpper(cell)
+	if i := strings.IndexByte(u, '_'); i > 0 {
+		u = u[:i]
+	}
+	u = strings.TrimRightFunc(u, unicode.IsDigit)
+	switch u {
+	case "AND":
+		return circuit.And, true
+	case "NAND":
+		return circuit.Nand, true
+	case "OR":
+		return circuit.Or, true
+	case "NOR":
+		return circuit.Nor, true
+	case "XOR":
+		return circuit.Xor, true
+	case "XNOR":
+		return circuit.Xnor, true
+	case "INV", "NOT":
+		return circuit.Not, true
+	case "BUF", "BUFF", "CLKBUF":
+		return circuit.Buf, true
+	case "DFF", "SDFF", "DFFR", "DFFS":
+		return circuit.DFF, true
+	}
+	return 0, false
+}
+
+// cellName renders the NanGate-style cell type for a kind and pin count.
+func cellName(k circuit.Kind, pins int) string {
+	switch k {
+	case circuit.Not:
+		return "INV_X1"
+	case circuit.Buf:
+		return "BUF_X1"
+	case circuit.DFF:
+		return "DFF_X1"
+	default:
+		return fmt.Sprintf("%s%d_X1", k, pins)
+	}
+}
+
+// outputPort returns the conventional output port name of a cell.
+func outputPort(k circuit.Kind) string {
+	switch k {
+	case circuit.Nand, circuit.Nor, circuit.Xnor, circuit.Not:
+		return "ZN"
+	case circuit.DFF:
+		return "Q"
+	default:
+		return "Z"
+	}
+}
+
+type token struct {
+	text string
+	line int
+}
+
+func tokenize(r io.Reader) ([]token, error) {
+	br := bufio.NewReader(r)
+	var toks []token
+	var cur strings.Builder
+	line := 1
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, token{cur.String(), line})
+			cur.Reset()
+		}
+	}
+	for {
+		ch, _, err := br.ReadRune()
+		if err == io.EOF {
+			flush()
+			return toks, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case ch == '\n':
+			flush()
+			line++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			flush()
+		case ch == '/':
+			next, _ := br.Peek(1)
+			if len(next) == 1 && next[0] == '/' {
+				flush()
+				if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+					return nil, err
+				}
+				line++
+				continue
+			}
+			if len(next) == 1 && next[0] == '*' {
+				flush()
+				br.ReadRune()
+				prev := rune(0)
+				for {
+					c2, _, err := br.ReadRune()
+					if err != nil {
+						return nil, fmt.Errorf("verilog:%d: unterminated block comment", line)
+					}
+					if c2 == '\n' {
+						line++
+					}
+					if prev == '*' && c2 == '/' {
+						break
+					}
+					prev = c2
+				}
+				continue
+			}
+			cur.WriteRune(ch)
+		case ch == '(' || ch == ')' || ch == ',' || ch == ';' || ch == '.':
+			flush()
+			toks = append(toks, token{string(ch), line})
+		default:
+			cur.WriteRune(ch)
+		}
+	}
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	name string
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	line := 0
+	if p.pos < len(p.toks) {
+		line = p.toks[p.pos].line
+	} else if len(p.toks) > 0 {
+		line = p.toks[len(p.toks)-1].line
+	}
+	return fmt.Errorf("verilog:%s:%d: %s", p.name, line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].text
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(t string) error {
+	if got := p.next(); got != t {
+		p.pos--
+		return p.errf("expected %q, got %q", t, got)
+	}
+	return nil
+}
+
+// identList parses "a, b, c ;" and returns the names.
+func (p *parser) identList() ([]string, error) {
+	var names []string
+	for {
+		n := p.next()
+		if n == "" || n == ";" || n == "," || n == "(" {
+			p.pos--
+			return nil, p.errf("expected identifier")
+		}
+		names = append(names, n)
+		switch p.next() {
+		case ",":
+			continue
+		case ";":
+			return names, nil
+		default:
+			p.pos--
+			return nil, p.errf("expected ',' or ';'")
+		}
+	}
+}
+
+// Parse reads structural Verilog into a finalized circuit. Multi-module
+// sources are flattened with the top module inferred (the unique module
+// not instantiated by any other); use ParseHierarchy to name the top
+// explicitly.
+func Parse(name string, r io.Reader) (*circuit.Circuit, error) {
+	return ParseHierarchy(name, r, "")
+}
+
+// Write emits the circuit as a NanGate-style structural Verilog module.
+// Output is deterministic.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	ports := make([]string, 0, len(c.Inputs)+len(c.Outputs))
+	for _, id := range c.Inputs {
+		ports = append(ports, c.Gates[id].Name)
+	}
+	outs := append([]int(nil), c.Outputs...)
+	sort.Ints(outs)
+	for _, id := range outs {
+		ports = append(ports, c.Gates[id].Name)
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", sanitize(c.Name), strings.Join(ports, ", "))
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "  input %s;\n", c.Gates[id].Name)
+	}
+	for _, id := range outs {
+		fmt.Fprintf(bw, "  output %s;\n", c.Gates[id].Name)
+	}
+	var wires []string
+	outSet := map[int]bool{}
+	for _, id := range outs {
+		outSet[id] = true
+	}
+	for id, g := range c.Gates {
+		if g.Kind == circuit.Input || outSet[id] {
+			continue
+		}
+		wires = append(wires, g.Name)
+	}
+	if len(wires) > 0 {
+		fmt.Fprintf(bw, "  wire %s;\n", strings.Join(wires, ", "))
+	}
+	instNum := 0
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		if g.Kind == circuit.Input {
+			continue
+		}
+		if g.Kind == circuit.DFF {
+			fmt.Fprintf(bw, "  DFF_X1 u%d (.D(%s), .CK(clk), .Q(%s));\n",
+				instNum, c.Gates[g.Fanin[0]].Name, g.Name)
+			instNum++
+			continue
+		}
+		parts := make([]string, 0, len(g.Fanin)+1)
+		for pi, f := range g.Fanin {
+			parts = append(parts, fmt.Sprintf(".%s(%s)", pinPort(pi), c.Gates[f].Name))
+		}
+		parts = append(parts, fmt.Sprintf(".%s(%s)", outputPort(g.Kind), g.Name))
+		fmt.Fprintf(bw, "  %s u%d (%s);\n", cellName(g.Kind, len(g.Fanin)), instNum, strings.Join(parts, ", "))
+		instNum++
+	}
+	fmt.Fprintf(bw, "endmodule\n")
+	return bw.Flush()
+}
+
+// pinPort names input pins A1, A2, … (NanGate convention for multi-input
+// cells); single-input cells use A.
+func pinPort(p int) string {
+	return fmt.Sprintf("A%d", p+1)
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			out = append(out, r)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 || unicode.IsDigit(out[0]) {
+		out = append([]rune{'m'}, out...)
+	}
+	return string(out)
+}
