@@ -6,6 +6,7 @@ package fastmon
 // completes on a laptop. Run `cmd/tablegen` for the full suite output.
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -43,7 +44,7 @@ func benchRun(b *testing.B, name string) *exper.Run {
 	if !ok {
 		b.Fatalf("unknown spec %s", name)
 	}
-	r, err := exper.RunCircuit(spec, benchCfg())
+	r, err := exper.RunCircuit(context.Background(), spec, benchCfg())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func BenchmarkTableI(b *testing.B) {
 	cfg := benchCfg()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := exper.RunCircuit(spec, cfg)
+		r, err := exper.RunCircuit(context.Background(), spec, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func BenchmarkTableII(b *testing.B) {
 	r := benchRun(b, "s9234")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		row, _, err := exper.TableII(r)
+		row, _, err := exper.TableII(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func BenchmarkTableIII(b *testing.B) {
 	r := benchRun(b, "s9234")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		row, err := exper.TableIII(r)
+		row, err := exper.TableIII(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +184,10 @@ func BenchmarkFaultInjection(b *testing.B) {
 func BenchmarkParallelPatternFaultSim(b *testing.B) {
 	c := circuit.MustGenerate(circuit.GenSpec{Name: "b", Gates: 1300, FFs: 128, Inputs: 16, Outputs: 12, Depth: 24, Seed: 1})
 	faults := fault.Universe(c)
-	pats, _ := atpg.Generate(c, faults[:200], atpg.DefaultConfig(1))
+	pats, _, err := atpg.Generate(context.Background(), c, faults[:200], atpg.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
 	if len(pats) == 0 {
 		b.Fatal("no patterns")
 	}
@@ -202,7 +206,10 @@ func BenchmarkATPG(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, st := atpg.Generate(c, faults, atpg.DefaultConfig(3))
+		_, st, err := atpg.Generate(context.Background(), c, faults, atpg.DefaultConfig(3))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if st.Detected == 0 {
 			b.Fatal("ATPG detected nothing")
 		}
@@ -220,11 +227,14 @@ func BenchmarkDetectionRanges(b *testing.B) {
 	placement := monitor.Place(r, 0.25, monitor.StandardDelays(clk))
 	e := sim.NewEngine(c, a)
 	faults := fault.Sample(fault.Universe(c), 4)
-	pats, _ := atpg.Generate(c, faults, atpg.DefaultConfig(3))
+	pats, _, err := atpg.Generate(context.Background(), c, faults, atpg.DefaultConfig(3))
+	if err != nil {
+		b.Fatal(err)
+	}
 	cfg := detect.Config{Clk: clk, TMin: clk / 3, Delta: lib.FaultSize(), Glitch: lib.MinPulse()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := detect.Run(e, placement, faults, pats, cfg); err != nil {
+		if _, err := detect.Run(context.Background(), e, placement, faults, pats, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -270,7 +280,7 @@ func BenchmarkILPSetCover(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := ilp.SetCover(sets, universe, ilp.Options{MaxNodes: 200000})
+		res, err := ilp.SetCover(context.Background(), sets, universe, ilp.Options{MaxNodes: 200000})
 		if err != nil || len(res.Selected) == 0 {
 			b.Fatalf("cover failed: %v", err)
 		}
@@ -284,7 +294,7 @@ func BenchmarkScheduleILP(b *testing.B) {
 	opt := flow.ScheduleOptions(schedule.ILP, 1.0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := schedule.Build(flow.TargetData, opt)
+		s, err := schedule.Build(context.Background(), flow.TargetData, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -362,7 +372,10 @@ func BenchmarkDiagnose(b *testing.B) {
 	if len(faults) > 500 {
 		faults = faults[:500]
 	}
-	pats, _ := atpg.Generate(c, faults, atpg.DefaultConfig(7))
+	pats, _, err := atpg.Generate(context.Background(), c, faults, atpg.DefaultConfig(7))
+	if err != nil {
+		b.Fatal(err)
+	}
 	cfg := diagnose.Config{Delta: lib.FaultSize(), Glitch: lib.MinPulse()}
 	obs := []diagnose.Observation{
 		{Period: clk * 2 / 5, Pattern: 0, Config: 3},

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"fastmon"
@@ -36,13 +38,18 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-period schedule details")
 	)
 	flag.Parse()
-	if err := run(*benchPath, *vlogPath, *topName, *sdfPath, *genName, *scale, *method, *coverage, *sample, *budget, *seed, *patsOut, *verbose); err != nil {
+	// Ctrl-C cancels the flow: the running stage returns promptly with a
+	// stage-attributed cancellation error instead of leaving a half-done
+	// run hanging.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *benchPath, *vlogPath, *topName, *sdfPath, *genName, *scale, *method, *coverage, *sample, *budget, *seed, *patsOut, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "fastmon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchPath, vlogPath, topName, sdfPath, genName string, scale float64, methodName string,
+func run(ctx context.Context, benchPath, vlogPath, topName, sdfPath, genName string, scale float64, methodName string,
 	coverage float64, sample int, budget time.Duration, seed int64, patsOut string, verbose bool) error {
 
 	lib := fastmon.NanGate45()
@@ -110,7 +117,7 @@ func run(benchPath, vlogPath, topName, sdfPath, genName string, scale float64, m
 
 	cfg := fastmon.Config{FaultSampleK: sample, ATPGSeed: seed, SolverBudget: budget}
 	start := time.Now()
-	flow, err := fastmon.RunAnnotated(c, lib, annot, cfg)
+	flow, err := fastmon.RunAnnotated(ctx, c, lib, annot, cfg)
 	if err != nil {
 		return err
 	}
@@ -147,7 +154,7 @@ func run(benchPath, vlogPath, topName, sdfPath, genName string, scale float64, m
 		fmt.Println("schedule  (no target faults: nothing to schedule)")
 		return nil
 	}
-	s, err := flow.BuildSchedule(m, coverage)
+	s, err := flow.BuildSchedule(ctx, m, coverage)
 	if err != nil {
 		return err
 	}

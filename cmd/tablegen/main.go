@@ -7,12 +7,24 @@
 //	tablegen -all -scale 0.08
 //	tablegen -table2 -circuits s9234,s13207 -scale 0.1
 //	tablegen -fig3 -circuits s9234
+//	tablegen -all -checkpoint out/ckpt          # persist per-circuit results
+//	tablegen -all -checkpoint out/ckpt -resume  # reuse completed circuits
+//
+// With -checkpoint DIR every circuit's derived results are flushed to
+// DIR/<name>.json as soon as the circuit finishes; -resume reloads the
+// directory and recomputes only missing, corrupt, or configuration-
+// mismatched entries. The first SIGINT (Ctrl-C) finishes and flushes the
+// circuit in flight, then exits with the tables computed so far; a second
+// SIGINT aborts the in-flight circuit itself.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -20,6 +32,17 @@ import (
 	"fastmon/internal/exper"
 	"fastmon/internal/schedule"
 )
+
+type options struct {
+	t1, t2, t3 bool
+	fig3       bool
+	ablate     bool
+	robust     bool
+	lifetime   bool
+	steps      int
+	ckptDir    string
+	resume     bool
+}
 
 func main() {
 	var (
@@ -36,6 +59,8 @@ func main() {
 		maxF     = flag.Int("maxfaults", 2500, "fault-sample budget per circuit")
 		budget   = flag.Duration("budget", 5*time.Second, "time budget per exact covering solve")
 		steps    = flag.Int("steps", 10, "sweep points for -fig3")
+		ckpt     = flag.String("checkpoint", "", "directory for per-circuit result checkpoints")
+		resume   = flag.Bool("resume", false, "reuse completed circuits from -checkpoint DIR")
 	)
 	flag.Parse()
 	if !*t1 && !*t2 && !*t3 && !*fig3 && !*ablate && !*robust && !*lifetime {
@@ -44,126 +69,216 @@ func main() {
 	if *all {
 		*t1, *t2, *t3, *fig3 = true, true, true, true
 	}
+	if *resume && *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "tablegen: -resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
 	cfg := exper.SuiteConfig{Scale: *scale, MaxFaults: *maxF, SolverBudget: *budget}
 	if *circuits != "" {
 		cfg.Names = strings.Split(*circuits, ",")
 	}
-	if err := run(cfg, *t1, *t2, *t3, *fig3, *ablate, *robust, *lifetime, *steps); err != nil {
+	opts := options{
+		t1: *t1, t2: *t2, t3: *t3, fig3: *fig3,
+		ablate: *ablate, robust: *robust, lifetime: *lifetime,
+		steps: *steps, ckptDir: *ckpt, resume: *resume,
+	}
+
+	// Two-stage interrupt handling: the first SIGINT requests a graceful
+	// stop (finish + flush the circuit in flight, emit partial tables), the
+	// second cancels the in-flight work itself.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "# interrupt: finishing the current circuit (Ctrl-C again to abort it)")
+		close(stop)
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "# second interrupt: aborting")
+		cancel()
+	}()
+
+	if err := run(ctx, os.Stdout, os.Stderr, cfg, opts, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg exper.SuiteConfig, t1, t2, t3, fig3, ablate, robust, lifetime bool, steps int) error {
+func run(ctx context.Context, out, log io.Writer, cfg exper.SuiteConfig, opts options, stop <-chan struct{}) error {
 	start := time.Now()
-	specs, err := cfg.Defaults().Select()
-	if err != nil {
-		return err
+	req := exper.TableRequest{T1: opts.t1, T2: opts.t2, T3: opts.t3}
+	if opts.fig3 {
+		req.Fig3Steps = opts.steps
 	}
-	runs := make([]*exper.Run, 0, len(specs))
-	for _, spec := range specs {
-		t0 := time.Now()
-		r, err := exper.RunCircuit(spec, cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", spec.Name, err)
-		}
-		fmt.Fprintf(os.Stderr, "# %-8s done in %v (%d gates, %d patterns, %d HDF candidates)\n",
-			spec.Name, time.Since(t0).Round(time.Millisecond),
-			r.Flow.Circuit.NumGates(), len(r.Flow.Patterns), len(r.Flow.HDFs))
-		runs = append(runs, r)
-	}
-	fmt.Printf("# fastmon tablegen — scale %.3f, %d circuits, fault budget %d\n",
-		cfg.Defaults().Scale, len(runs), cfg.Defaults().MaxFaults)
-	fmt.Printf("# shapes are comparable to the paper; absolute values scale with circuit size\n\n")
 
-	if fig3 {
-		pts := exper.Fig3(runs[0], steps)
-		exper.WriteFig3(os.Stdout, pts)
-		fmt.Printf("(circuit: %s)\n\n", runs[0].Spec.Name)
+	dir := ""
+	if opts.ckptDir != "" {
+		dir = opts.ckptDir
+		if !opts.resume {
+			// A fresh (non-resume) run must not silently reuse stale
+			// entries; clear the directory's claim by ignoring it on load.
+			if err := clearCheckpoints(dir); err != nil {
+				return err
+			}
+		}
 	}
+
+	progress := func(res *exper.CircuitResult, cached bool) {
+		src := "computed"
+		if cached {
+			src = "resumed from checkpoint"
+		}
+		fmt.Fprintf(log, "# %-8s %s (degradation: %s)\n", res.Name, src, res.Degradation)
+	}
+	results, runErr := exper.RunSuiteCheckpointed(ctx, cfg, req, dir, stop, progress)
+	if runErr != nil && len(results) == 0 {
+		return runErr
+	}
+
+	cfg = cfg.Defaults()
+	fmt.Fprintf(out, "# fastmon tablegen — scale %.3f, %d circuits, fault budget %d\n",
+		cfg.Scale, len(results), cfg.MaxFaults)
+	fmt.Fprintf(out, "# shapes are comparable to the paper; absolute values scale with circuit size\n\n")
+	if runErr != nil {
+		fmt.Fprintf(out, "# PARTIAL RESULTS: %v\n\n", runErr)
+	}
+
 	var t1rows []exper.T1Row
 	var t2rows []exper.T2Row
 	var t3rows []exper.T3Row
-	if t1 {
-		for _, r := range runs {
-			t1rows = append(t1rows, exper.TableI(r))
+	for _, res := range results {
+		if res.T1 != nil {
+			t1rows = append(t1rows, *res.T1)
 		}
-		exper.WriteTableI(os.Stdout, t1rows)
-		fmt.Println()
-	}
-	if t2 {
-		for _, r := range runs {
-			row, _, err := exper.TableII(r)
-			if err != nil {
-				return err
-			}
-			t2rows = append(t2rows, row)
+		if res.T2 != nil {
+			t2rows = append(t2rows, *res.T2)
 		}
-		exper.WriteTableII(os.Stdout, t2rows)
-		fmt.Println()
-	}
-	if t3 {
-		for _, r := range runs {
-			row, err := exper.TableIII(r)
-			if err != nil {
-				return err
-			}
-			t3rows = append(t3rows, row)
+		if res.T3 != nil {
+			t3rows = append(t3rows, *res.T3)
 		}
-		exper.WriteTableIII(os.Stdout, t3rows)
-		fmt.Println()
 	}
-	if t1 && t2 && t3 {
+	if opts.fig3 && len(results) > 0 && len(results[0].Fig3) > 0 {
+		exper.WriteFig3(out, results[0].Fig3)
+		fmt.Fprintf(out, "(circuit: %s)\n\n", results[0].Name)
+	}
+	if opts.t1 {
+		exper.WriteTableI(out, t1rows)
+		fmt.Fprintln(out)
+	}
+	if opts.t2 {
+		exper.WriteTableII(out, t2rows)
+		fmt.Fprintln(out)
+	}
+	if opts.t3 {
+		exper.WriteTableIII(out, t3rows)
+		fmt.Fprintln(out)
+	}
+	if opts.t1 && opts.t2 && opts.t3 && runErr == nil {
 		// Qualitative comparison against the published tables.
-		exper.WriteShapeChecks(os.Stdout, exper.ShapeChecks(t1rows, t2rows, t3rows))
-		fmt.Println()
+		exper.WriteShapeChecks(out, exper.ShapeChecks(t1rows, t2rows, t3rows))
+		fmt.Fprintln(out)
 	}
-	if ablate {
-		spec := runs[0].Spec
-		fr, err := exper.AblateMonitorFraction(spec, cfg, []float64{0.10, 0.25, 0.50, 1.0})
-		if err != nil {
-			return err
-		}
-		dr, err := exper.AblateDelayConfigs(runs[0])
-		if err != nil {
-			return err
-		}
-		gr, err := exper.AblateGlitch(spec, cfg, []float64{0, 1, 2})
-		if err != nil {
-			return err
-		}
-		exper.WriteAblation(os.Stdout, fr, dr, gr)
-		fc, err := exper.AblateFreeConfig(runs[0])
-		if err != nil {
-			return err
-		}
-		exper.WriteFreeConfig(os.Stdout, fc)
+	if runErr != nil {
+		fmt.Fprintf(out, "# total %v (stopped early)\n", time.Since(start).Round(time.Millisecond))
+		return nil
 	}
-	if robust {
-		s, err := runs[0].Flow.BuildSchedule(schedule.ILP, 1.0)
+
+	// The single-circuit studies need a live flow; they rerun the first
+	// selected circuit (checkpoints hold only derived rows).
+	if opts.ablate || opts.robust || opts.lifetime {
+		specs, err := cfg.Select()
 		if err != nil {
 			return err
 		}
-		var pts []exper.RobustnessPoint
-		for _, sigma := range []float64{0, 0.02, 0.05, 0.10} {
-			p, err := exper.VariationRobustness(runs[0], s, sigma, 5, 1234)
+		spec := specs[0]
+		r, err := exper.RunCircuit(ctx, spec, cfg)
+		if err != nil {
+			return err
+		}
+		if opts.ablate {
+			if err := runAblations(ctx, out, spec, cfg, r); err != nil {
+				return err
+			}
+		}
+		if opts.robust {
+			if err := runRobustness(ctx, out, r); err != nil {
+				return err
+			}
+		}
+		if opts.lifetime {
+			model := aging.Model{A: 0.3, N: 0.3, Seed: 5}
+			pts, err := exper.LifetimeSweep(ctx, spec, cfg, model, []float64{0, 2, 5, 10, 15, 20})
 			if err != nil {
 				return err
 			}
-			pts = append(pts, p)
+			exper.WriteLifetime(out, pts)
+			fmt.Fprintln(out)
 		}
-		exper.WriteRobustness(os.Stdout, pts)
-		fmt.Println()
 	}
-	if lifetime {
-		model := aging.Model{A: 0.3, N: 0.3, Seed: 5}
-		pts, err := exper.LifetimeSweep(runs[0].Spec, cfg, model, []float64{0, 2, 5, 10, 15, 20})
+	fmt.Fprintf(out, "# total %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runAblations(ctx context.Context, out io.Writer, spec exper.Spec, cfg exper.SuiteConfig, r *exper.Run) error {
+	fr, err := exper.AblateMonitorFraction(ctx, spec, cfg, []float64{0.10, 0.25, 0.50, 1.0})
+	if err != nil {
+		return err
+	}
+	dr, err := exper.AblateDelayConfigs(ctx, r)
+	if err != nil {
+		return err
+	}
+	gr, err := exper.AblateGlitch(ctx, spec, cfg, []float64{0, 1, 2})
+	if err != nil {
+		return err
+	}
+	exper.WriteAblation(out, fr, dr, gr)
+	fc, err := exper.AblateFreeConfig(ctx, r)
+	if err != nil {
+		return err
+	}
+	exper.WriteFreeConfig(out, fc)
+	return nil
+}
+
+func runRobustness(ctx context.Context, out io.Writer, r *exper.Run) error {
+	s, err := r.Flow.BuildSchedule(ctx, schedule.ILP, 1.0)
+	if err != nil {
+		return err
+	}
+	var pts []exper.RobustnessPoint
+	for _, sigma := range []float64{0, 0.02, 0.05, 0.10} {
+		p, err := exper.VariationRobustness(ctx, r, s, sigma, 5, 1234)
 		if err != nil {
 			return err
 		}
-		exper.WriteLifetime(os.Stdout, pts)
-		fmt.Println()
+		pts = append(pts, p)
 	}
-	fmt.Printf("# total %v\n", time.Since(start).Round(time.Millisecond))
+	exper.WriteRobustness(out, pts)
+	fmt.Fprintln(out)
+	return nil
+}
+
+// clearCheckpoints removes stale .json entries so a fresh run starts from
+// scratch. The directory itself is kept (it may be user-created).
+func clearCheckpoints(dir string) error {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+			continue
+		}
+		if err := os.Remove(dir + string(os.PathSeparator) + f.Name()); err != nil {
+			return err
+		}
+	}
 	return nil
 }

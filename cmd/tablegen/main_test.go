@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastmon/internal/exper"
+)
+
+func smallCfg() exper.SuiteConfig {
+	return exper.SuiteConfig{Scale: 0.05, MaxFaults: 600, Names: []string{"s9234"}}
+}
+
+// TestRunResumeUsesCheckpoint drives run() twice against the same
+// checkpoint directory: the second, resumed invocation must serve the
+// circuit from the checkpoint instead of recomputing it.
+func TestRunResumeUsesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallCfg()
+	opts := options{t1: true, ckptDir: dir, resume: false}
+
+	var out1, log1 strings.Builder
+	if err := run(context.Background(), &out1, &log1, cfg, opts, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log1.String(), "computed") {
+		t.Fatalf("first run did not compute: %q", log1.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s9234.json")); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	opts.resume = true
+	var out2, log2 strings.Builder
+	if err := run(context.Background(), &out2, &log2, cfg, opts, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log2.String(), "resumed from checkpoint") {
+		t.Fatalf("resume recomputed the circuit: %q", log2.String())
+	}
+	if !strings.Contains(out2.String(), "TABLE I") {
+		t.Fatalf("resumed run produced no table: %q", out2.String())
+	}
+	// Both runs must print identical Table I rows (same data, one cached).
+	row := func(s string) string {
+		for _, l := range strings.Split(s, "\n") {
+			if strings.HasPrefix(l, "s9234") {
+				return l
+			}
+		}
+		return ""
+	}
+	if r1, r2 := row(out1.String()), row(out2.String()); r1 == "" || r1 != r2 {
+		t.Fatalf("resumed row differs:\n  fresh:   %q\n  resumed: %q", r1, r2)
+	}
+}
+
+// TestRunFreshClearsStaleCheckpoints: without -resume an existing
+// checkpoint directory is cleared, not silently reused.
+func TestRunFreshClearsStaleCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "s9234.json")
+	if err := os.WriteFile(stale, []byte(`{"name":"s9234","scale":0.05,"max_faults":600,"t1":{"Name":"s9234"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, log strings.Builder
+	opts := options{t1: true, ckptDir: dir, resume: false}
+	if err := run(context.Background(), &out, &log, smallCfg(), opts, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(log.String(), "resumed") {
+		t.Fatalf("fresh run reused a stale checkpoint: %q", log.String())
+	}
+}
+
+// TestRunStopEmitsPartialTables: a stop requested before the first circuit
+// still renders the (empty) tables with a partial-results banner instead
+// of failing.
+func TestRunStopEmitsPartialTables(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	var out, log strings.Builder
+	cfg := smallCfg()
+	cfg.Names = []string{"s9234", "s13207"}
+	err := run(context.Background(), &out, &log, cfg, options{t1: true}, stop)
+	if err == nil {
+		// Zero results: run() returns the partial error directly.
+		t.Fatal("stopped run with zero results must error")
+	}
+	if !strings.Contains(err.Error(), "partial") {
+		t.Fatalf("error does not mark results partial: %v", err)
+	}
+}

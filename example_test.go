@@ -1,6 +1,7 @@
 package fastmon_test
 
 import (
+	"context"
 	"fmt"
 
 	"fastmon"
@@ -11,7 +12,7 @@ import (
 // with programmable delay monitors.
 func Example() {
 	c := fastmon.MustParseBench("s27", fastmon.S27)
-	flow, err := fastmon.Run(c, fastmon.NanGate45(), fastmon.Config{
+	flow, err := fastmon.Run(context.Background(), c, fastmon.NanGate45(), fastmon.Config{
 		MonitorFraction: 1.0,
 		ATPGSeed:        1,
 	})
@@ -31,14 +32,14 @@ func Example() {
 // applications.
 func ExampleFlow_BuildSchedule() {
 	c := fastmon.MustParseBench("s27", fastmon.S27)
-	flow, err := fastmon.Run(c, fastmon.NanGate45(), fastmon.Config{
+	flow, err := fastmon.Run(context.Background(), c, fastmon.NanGate45(), fastmon.Config{
 		MonitorFraction: 1.0,
 		ATPGSeed:        1,
 	})
 	if err != nil {
 		panic(err)
 	}
-	s, err := flow.BuildSchedule(fastmon.MethodILP, 1.0)
+	s, err := flow.BuildSchedule(context.Background(), fastmon.MethodILP, 1.0)
 	if err != nil {
 		panic(err)
 	}

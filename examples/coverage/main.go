@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -13,8 +14,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	spec, _ := exper.SpecByName("s9234")
-	run, err := fastmon.RunExperiment(spec, fastmon.SuiteConfig{Scale: 0.08, MaxFaults: 1500})
+	run, err := fastmon.RunExperiment(ctx, spec, fastmon.SuiteConfig{Scale: 0.08, MaxFaults: 1500})
 	if err != nil {
 		log.Fatal(err)
 	}

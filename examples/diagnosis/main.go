@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	c, err := fastmon.Generate(fastmon.GenSpec{
 		Name: "dut", Gates: 300, FFs: 24, Inputs: 10, Outputs: 8, Depth: 14, Seed: 99,
 	})
@@ -22,7 +24,7 @@ func main() {
 		log.Fatal(err)
 	}
 	lib := fastmon.NanGate45()
-	flow, err := fastmon.Run(c, lib, fastmon.Config{MonitorFraction: 0.5, ATPGSeed: 7})
+	flow, err := fastmon.Run(ctx, c, lib, fastmon.Config{MonitorFraction: 0.5, ATPGSeed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +33,7 @@ func main() {
 
 	// The production FAST schedule is the application set: diagnosis
 	// replays exactly what the test floor ran.
-	sched, err := flow.BuildSchedule(fastmon.MethodILP, 1.0)
+	sched, err := flow.BuildSchedule(ctx, fastmon.MethodILP, 1.0)
 	if err != nil {
 		log.Fatal(err)
 	}

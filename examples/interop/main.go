@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"log"
@@ -34,6 +35,7 @@ endmodule
 `
 
 func main() {
+	ctx := context.Background()
 	lib := fastmon.NanGate45()
 
 	// Verilog in.
@@ -56,7 +58,10 @@ func main() {
 	}
 
 	// ATPG, archived and reloaded through the pattern format.
-	pats, st := fastmon.GenerateTests(c, fastmon.FaultUniverse(c), 1)
+	pats, st, err := fastmon.GenerateTests(ctx, c, fastmon.FaultUniverse(c), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("ATPG: %d patterns, coverage %.1f%%\n", len(pats), st.Coverage()*100)
 	var patBuf bytes.Buffer
 	if err := fastmon.WritePatterns(&patBuf, c, pats); err != nil {
@@ -78,7 +83,7 @@ func main() {
 		chains.TestTime(len(reloaded), shift, clk))
 
 	// Full flow on the Verilog-sourced design with the SDF timing.
-	flow, err := fastmon.RunAnnotated(c, lib, annot2, fastmon.Config{MonitorFraction: 1.0, ATPGSeed: 1})
+	flow, err := fastmon.RunAnnotated(ctx, c, lib, annot2, fastmon.Config{MonitorFraction: 1.0, ATPGSeed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

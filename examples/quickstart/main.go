@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +11,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Parse a netlist. s27 ships embedded; any .bench file works the same
 	// way via fastmon.ParseBench.
 	c := fastmon.MustParseBench("s27", fastmon.S27)
@@ -19,7 +21,7 @@ func main() {
 	// parameters: clk = 1.05·cpl, f_max = 3·f_nom, monitors on 25% of the
 	// pseudo outputs with delays {0.05, 0.10, 0.15, ⅓}·clk, fault size
 	// δ = 6σ.
-	flow, err := fastmon.Run(c, fastmon.NanGate45(), fastmon.Config{
+	flow, err := fastmon.Run(ctx, c, fastmon.NanGate45(), fastmon.Config{
 		MonitorFraction: 1.0, // monitor all three FFs of this tiny design
 		ATPGSeed:        1,
 	})
@@ -51,7 +53,7 @@ func main() {
 		fmt.Println("all detectable HDFs are at-speed detectable here; no FAST schedule needed")
 		return
 	}
-	s, err := flow.BuildSchedule(fastmon.MethodILP, 1.0)
+	s, err := flow.BuildSchedule(ctx, fastmon.MethodILP, 1.0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,8 +16,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	spec, _ := exper.SpecByName("s13207")
-	run, err := fastmon.RunExperiment(spec, fastmon.SuiteConfig{Scale: 0.08, MaxFaults: 1500})
+	run, err := fastmon.RunExperiment(ctx, spec, fastmon.SuiteConfig{Scale: 0.08, MaxFaults: 1500})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,7 +29,7 @@ func main() {
 	for _, m := range []fastmon.Method{
 		fastmon.MethodConventional, fastmon.MethodHeuristic, fastmon.MethodILP,
 	} {
-		s, err := flow.BuildSchedule(m, 1.0)
+		s, err := flow.BuildSchedule(ctx, m, 1.0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,7 +43,7 @@ func main() {
 	}
 
 	// Detail of the proposed (ILP) schedule.
-	s, err := flow.BuildSchedule(fastmon.MethodILP, 1.0)
+	s, err := flow.BuildSchedule(ctx, fastmon.MethodILP, 1.0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func main() {
 	// Partial-coverage ladder (Table III).
 	fmt.Println("\npartial coverage targets:")
 	for _, cov := range []float64{0.99, 0.98, 0.95, 0.90} {
-		ps, err := flow.BuildSchedule(fastmon.MethodILP, cov)
+		ps, err := flow.BuildSchedule(ctx, fastmon.MethodILP, cov)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -20,11 +20,12 @@
 // Quick start:
 //
 //	c := fastmon.MustParseBench("s27", fastmon.S27)
-//	flow, err := fastmon.Run(c, fastmon.NanGate45(), fastmon.Config{})
-//	sched, err := flow.BuildSchedule(fastmon.MethodILP, 1.0)
+//	flow, err := fastmon.Run(ctx, c, fastmon.NanGate45(), fastmon.Config{})
+//	sched, err := flow.BuildSchedule(ctx, fastmon.MethodILP, 1.0)
 package fastmon
 
 import (
+	"context"
 	"io"
 
 	"fastmon/internal/aging"
@@ -144,15 +145,16 @@ func WriteSDF(w io.Writer, c *Circuit, a *Annotation) error { return sdf.Write(w
 // AnalyzeTiming runs static timing analysis.
 func AnalyzeTiming(c *Circuit, a *Annotation) *TimingResult { return sta.Analyze(c, a) }
 
-// Run executes the complete HDF test flow (Fig. 4) on a circuit. A nil
-// annotation uses the library's nominal delays.
-func Run(c *Circuit, lib *Library, cfg Config) (*Flow, error) {
-	return core.Run(c, lib, nil, cfg)
+// Run executes the complete HDF test flow (Fig. 4) on a circuit.
+// Cancelling ctx aborts the running stage promptly with a stage-attributed
+// error (see the fmerr taxonomy in DESIGN.md).
+func Run(ctx context.Context, c *Circuit, lib *Library, cfg Config) (*Flow, error) {
+	return core.Run(ctx, c, lib, nil, cfg)
 }
 
 // RunAnnotated is Run with an explicit (e.g. SDF-derived) annotation.
-func RunAnnotated(c *Circuit, lib *Library, a *Annotation, cfg Config) (*Flow, error) {
-	return core.Run(c, lib, a, cfg)
+func RunAnnotated(ctx context.Context, c *Circuit, lib *Library, a *Annotation, cfg Config) (*Flow, error) {
+	return core.Run(ctx, c, lib, a, cfg)
 }
 
 // ValidateSchedule checks that a schedule covers every fault it claims.
@@ -211,8 +213,8 @@ func BuildScanChains(c *Circuit, n int) *ScanChains { return scan.Build(c, n) }
 
 // GenerateTests runs the ATPG substrate directly: compacted
 // transition-fault pattern pairs for the given fault list.
-func GenerateTests(c *Circuit, faults []Fault, seed int64) ([]Pattern, ATPGStats) {
-	return atpg.Generate(c, faults, atpg.DefaultConfig(seed))
+func GenerateTests(ctx context.Context, c *Circuit, faults []Fault, seed int64) ([]Pattern, ATPGStats, error) {
+	return atpg.Generate(ctx, c, faults, atpg.DefaultConfig(seed))
 }
 
 // ATPGStats summarizes a test-generation run.
@@ -257,6 +259,6 @@ func SimulatePattern(c *Circuit, a *Annotation, p Pattern) ([]Waveform, error) {
 }
 
 // RunExperiment executes the end-to-end flow for one suite circuit.
-func RunExperiment(spec ExperimentSpec, cfg SuiteConfig) (*ExperimentRun, error) {
-	return exper.RunCircuit(spec, cfg)
+func RunExperiment(ctx context.Context, spec ExperimentSpec, cfg SuiteConfig) (*ExperimentRun, error) {
+	return exper.RunCircuit(ctx, spec, cfg)
 }

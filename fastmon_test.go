@@ -2,13 +2,14 @@ package fastmon
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestFacadeQuickstart(t *testing.T) {
 	c := MustParseBench("s27", S27)
-	flow, err := Run(c, NanGate45(), Config{ATPGSeed: 1})
+	flow, err := Run(context.Background(), c, NanGate45(), Config{ATPGSeed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,7 +17,7 @@ func TestFacadeQuickstart(t *testing.T) {
 		t.Fatalf("flow incomplete: clk=%v patterns=%d", flow.Clk, len(flow.Patterns))
 	}
 	if len(flow.TargetData) > 0 {
-		s, err := flow.BuildSchedule(MethodILP, 1.0)
+		s, err := flow.BuildSchedule(context.Background(), MethodILP, 1.0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,7 +108,10 @@ func TestFacadeVerilog(t *testing.T) {
 
 func TestFacadePatternsAndATPG(t *testing.T) {
 	c := MustParseBench("s27", S27)
-	pats, st := GenerateTests(c, FaultUniverse(c), 1)
+	pats, st, err := GenerateTests(context.Background(), c, FaultUniverse(c), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Coverage() < 0.99 || len(pats) == 0 {
 		t.Fatalf("ATPG stats %+v", st)
 	}
@@ -137,7 +141,7 @@ func TestFacadeSuite(t *testing.T) {
 		t.Fatal("paper suite must have 12 circuits")
 	}
 	spec := PaperSuite()[0]
-	r, err := RunExperiment(spec, SuiteConfig{Scale: 0.05, MaxFaults: 600})
+	r, err := RunExperiment(context.Background(), spec, SuiteConfig{Scale: 0.05, MaxFaults: 600})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +152,7 @@ func TestFacadeSuite(t *testing.T) {
 
 func TestFacadeDiagnose(t *testing.T) {
 	c := MustParseBench("s27", S27)
-	flow, err := Run(c, NanGate45(), Config{MonitorFraction: 1.0, ATPGSeed: 1})
+	flow, err := Run(context.Background(), c, NanGate45(), Config{MonitorFraction: 1.0, ATPGSeed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"testing"
 
 	"fastmon/internal/circuit"
@@ -157,7 +158,10 @@ func TestJustify(t *testing.T) {
 func TestGenerateS27FullCoverage(t *testing.T) {
 	c := circuit.MustParseBench("s27", circuit.S27)
 	faults := fault.Universe(c)
-	pats, st := Generate(c, faults, DefaultConfig(1))
+	pats, st, err := Generate(context.Background(), c, faults, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Faults != len(faults) {
 		t.Fatalf("stats faults = %d", st.Faults)
 	}
@@ -190,8 +194,14 @@ func TestGenerateS27FullCoverage(t *testing.T) {
 func TestGenerateDeterministic(t *testing.T) {
 	c := circuit.MustParseBench("s27", circuit.S27)
 	faults := fault.Universe(c)
-	p1, s1 := Generate(c, faults, DefaultConfig(7))
-	p2, s2 := Generate(c, faults, DefaultConfig(7))
+	p1, s1, err := Generate(context.Background(), c, faults, DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, s2, err2 := Generate(context.Background(), c, faults, DefaultConfig(7))
+	if err2 != nil {
+		t.Fatal(err2)
+	}
 	if s1 != s2 || len(p1) != len(p2) {
 		t.Fatalf("non-deterministic: %+v vs %+v", s1, s2)
 	}
@@ -209,9 +219,15 @@ func TestGenerateCompactionPreservesCoverage(t *testing.T) {
 	faults := fault.Universe(c)
 	cfgNo := DefaultConfig(3)
 	cfgNo.Compact = false
-	pRaw, stRaw := Generate(c, faults, cfgNo)
+	pRaw, stRaw, err := Generate(context.Background(), c, faults, cfgNo)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfgYes := DefaultConfig(3)
-	pCmp, stCmp := Generate(c, faults, cfgYes)
+	pCmp, stCmp, err := Generate(context.Background(), c, faults, cfgYes)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stCmp.Detected != stRaw.Detected {
 		t.Fatalf("compaction changed coverage: %d vs %d", stCmp.Detected, stRaw.Detected)
 	}
@@ -234,7 +250,10 @@ func TestGenerateCompactionPreservesCoverage(t *testing.T) {
 func TestGenerateGeneratedCircuitCoverage(t *testing.T) {
 	c := circuit.MustGenerate(circuit.GenSpec{Name: "g", Gates: 300, FFs: 24, Inputs: 10, Outputs: 8, Depth: 12, Seed: 17})
 	faults := fault.Universe(c)
-	_, st := Generate(c, faults, DefaultConfig(5))
+	_, st, err := Generate(context.Background(), c, faults, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Random synthetic logic carries far more redundant (untestable but
 	// unproven) transition faults than synthesized industrial netlists;
 	// an experiment showed <10% of aborted faults are detectable even by

@@ -1,11 +1,13 @@
 package atpg
 
 import (
+	"context"
 	"math/bits"
 	"math/rand"
 
 	"fastmon/internal/circuit"
 	"fastmon/internal/fault"
+	"fastmon/internal/fmerr"
 	"fastmon/internal/logic"
 	"fastmon/internal/sim"
 )
@@ -52,7 +54,11 @@ func (s Stats) Coverage() float64 {
 // Generate produces a compacted transition-fault test set for the given
 // fault list. Faults are interpreted as transition faults at the
 // small-delay fault sites (slow-to-rise/slow-to-fall polarity preserved).
-func Generate(c *circuit.Circuit, faults []fault.Fault, cfg Config) ([]sim.Pattern, Stats) {
+//
+// The context is polled between random batches and between deterministic
+// PODEM targets; cancellation returns the patterns generated so far
+// together with a stage-attributed error.
+func Generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg Config) ([]sim.Pattern, Stats, error) {
 	if cfg.RandomBatches == 0 && cfg.MaxBacktracks == 0 {
 		cfg = DefaultConfig(cfg.Seed)
 	}
@@ -82,6 +88,9 @@ func Generate(c *circuit.Circuit, faults []fault.Fault, cfg Config) ([]sim.Patte
 	// Random phase.
 	misses := 0
 	for batch := 0; batch < cfg.RandomBatches && misses < 4; batch++ {
+		if err := ctx.Err(); err != nil {
+			return patterns, st, fmerr.Wrap(fmerr.StageATPG, "random-phase", err)
+		}
 		blk := make([]sim.Pattern, 64)
 		for i := range blk {
 			blk[i] = sim.Pattern{V1: make([]bool, nsrc), V2: make([]bool, nsrc)}
@@ -125,6 +134,11 @@ func Generate(c *circuit.Circuit, faults []fault.Fault, cfg Config) ([]sim.Patte
 	an := newAnalysis(c)
 	lastDrop := len(patterns)
 	for fi := range faults {
+		if fi&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return patterns, st, fmerr.Wrap(fmerr.StageATPG, "deterministic-phase", err)
+			}
+		}
 		if detected[fi] {
 			continue
 		}
@@ -173,7 +187,7 @@ func Generate(c *circuit.Circuit, faults []fault.Fault, cfg Config) ([]sim.Patte
 			st.Detected++
 		}
 	}
-	return patterns, st
+	return patterns, st, nil
 }
 
 // compact performs reverse-order static compaction: patterns are

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"fastmon/internal/circuit"
 	"fastmon/internal/detect"
 	"fastmon/internal/fault"
+	"fastmon/internal/fmerr"
 	"fastmon/internal/interval"
 	"fastmon/internal/monitor"
 	"fastmon/internal/schedule"
@@ -110,7 +112,11 @@ type Flow struct {
 
 // Run executes the flow on an annotated circuit. The annotation argument
 // may be nil, in which case the library's nominal delays are used.
-func Run(c *circuit.Circuit, lib *cell.Library, annot *cell.Annotation, cfg Config) (*Flow, error) {
+//
+// Cancelling ctx aborts whichever stage is running — ATPG, fault
+// simulation, or classification — and returns a stage-attributed error
+// wrapping the context error.
+func Run(ctx context.Context, c *circuit.Circuit, lib *cell.Library, annot *cell.Annotation, cfg Config) (*Flow, error) {
 	cfg = cfg.Defaults()
 	if annot == nil {
 		annot = cell.Annotate(c, lib)
@@ -139,9 +145,11 @@ func Run(c *circuit.Circuit, lib *cell.Library, annot *cell.Annotation, cfg Conf
 
 	// ATPG substrate: compacted transition-fault patterns for the full
 	// (sampled) universe, standing in for the commercial test sets.
-	var st atpg.Stats
-	f.Patterns, st = atpg.Generate(c, f.Universe, atpg.DefaultConfig(cfg.ATPGSeed))
-	f.ATPGStats = st
+	pats, st, err := atpg.Generate(ctx, c, f.Universe, atpg.DefaultConfig(cfg.ATPGSeed))
+	if err != nil {
+		return nil, err
+	}
+	f.Patterns, f.ATPGStats = pats, st
 	if len(f.Patterns) == 0 {
 		return nil, fmt.Errorf("core: ATPG produced no patterns for %s", c.Name)
 	}
@@ -152,11 +160,14 @@ func Run(c *circuit.Circuit, lib *cell.Library, annot *cell.Annotation, cfg Conf
 		Glitch: lib.MinPulse().Scale(cfg.GlitchScale), Workers: cfg.Workers,
 	}
 	e := sim.NewEngine(c, annot)
-	data, err := detect.Run(e, f.Placement, f.HDFs, f.Patterns, f.DetectCfg)
+	data, err := detect.Run(ctx, e, f.Placement, f.HDFs, f.Patterns, f.DetectCfg)
 	if err != nil {
 		return nil, err
 	}
 	f.Data = data
+	if err := ctx.Err(); err != nil {
+		return nil, fmerr.Wrap(fmerr.StageDetect, "classify", err)
+	}
 
 	// Step 5: classification and target-fault extraction.
 	lo, hi := f.DetectCfg.ObservationWindow()
@@ -213,8 +224,8 @@ func (f *Flow) ScheduleOptions(m schedule.Method, coverage float64) schedule.Opt
 }
 
 // BuildSchedule runs the scheduling step on the target faults.
-func (f *Flow) BuildSchedule(m schedule.Method, coverage float64) (*schedule.Schedule, error) {
-	return schedule.Build(f.TargetData, f.ScheduleOptions(m, coverage))
+func (f *Flow) BuildSchedule(ctx context.Context, m schedule.Method, coverage float64) (*schedule.Schedule, error) {
+	return schedule.Build(ctx, f.TargetData, f.ScheduleOptions(m, coverage))
 }
 
 // CoverageAt evaluates the Fig.-3 sweep point: the fraction of HDF

@@ -1,18 +1,22 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"fastmon/internal/cell"
 	"fastmon/internal/circuit"
 	"fastmon/internal/fault"
+	"fastmon/internal/fmerr"
 	"fastmon/internal/schedule"
 )
 
 func runS27(t *testing.T) *Flow {
 	t.Helper()
 	c := circuit.MustParseBench("s27", circuit.S27)
-	f, err := Run(c, cell.NanGate45(), nil, Config{ATPGSeed: 1})
+	f, err := Run(context.Background(), c, cell.NanGate45(), nil, Config{ATPGSeed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +97,7 @@ func TestRunSchedulesAllMethods(t *testing.T) {
 		t.Skip("no target faults on s27 at this configuration")
 	}
 	for _, m := range []schedule.Method{schedule.Conventional, schedule.Heuristic, schedule.ILP} {
-		s, err := f.BuildSchedule(m, 1.0)
+		s, err := f.BuildSchedule(context.Background(), m, 1.0)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -124,7 +128,7 @@ func TestCoverageAtMonotone(t *testing.T) {
 
 func TestFaultSampling(t *testing.T) {
 	c := circuit.MustParseBench("s27", circuit.S27)
-	f, err := Run(c, cell.NanGate45(), nil, Config{ATPGSeed: 1, FaultSampleK: 4})
+	f, err := Run(context.Background(), c, cell.NanGate45(), nil, Config{ATPGSeed: 1, FaultSampleK: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +142,7 @@ func TestRunGeneratedCircuit(t *testing.T) {
 	c := circuit.MustGenerate(circuit.GenSpec{
 		Name: "gen400", Gates: 400, FFs: 40, Inputs: 12, Outputs: 10, Depth: 16, Seed: 5,
 	})
-	f, err := Run(c, cell.NanGate45(), nil, Config{ATPGSeed: 2})
+	f, err := Run(context.Background(), c, cell.NanGate45(), nil, Config{ATPGSeed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +154,7 @@ func TestRunGeneratedCircuit(t *testing.T) {
 	if len(f.TargetData) == 0 {
 		t.Fatal("no target faults at all")
 	}
-	s, err := f.BuildSchedule(schedule.ILP, 1.0)
+	s, err := f.BuildSchedule(context.Background(), schedule.ILP, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,5 +163,51 @@ func TestRunGeneratedCircuit(t *testing.T) {
 	}
 	if s.NumFrequencies() == 0 {
 		t.Fatal("empty schedule for non-empty target set")
+	}
+}
+
+// TestRunCanceledMidFlow cancels the flow shortly after it starts on a
+// larger generated circuit: Run must return promptly with a
+// stage-attributed cancellation error instead of finishing the multi-second
+// simulation.
+func TestRunCanceledMidFlow(t *testing.T) {
+	c := circuit.MustGenerate(circuit.GenSpec{
+		Name: "gen1200", Gates: 1200, FFs: 96, Inputs: 14, Outputs: 12, Depth: 20, Seed: 6,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	f, err := Run(ctx, c, cell.NanGate45(), nil, Config{ATPGSeed: 2})
+	elapsed := time.Since(start)
+	if err == nil {
+		// The flow beat the cancellation — possible on fast machines; the
+		// run must then be complete and valid.
+		if f == nil || len(f.Data) == 0 {
+			t.Fatal("nil error but incomplete flow")
+		}
+		return
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if !fmerr.IsCanceled(err) || fmerr.StageOf(err) == "" {
+		t.Fatalf("missing taxonomy attribution: %v", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled flow took %v", elapsed)
+	}
+}
+
+// TestRunPreCanceled: a context cancelled before the call returns
+// immediately from whichever stage observes it first.
+func TestRunPreCanceled(t *testing.T) {
+	c := circuit.MustParseBench("s27", circuit.S27)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, c, cell.NanGate45(), nil, Config{ATPGSeed: 1}); !fmerr.IsCanceled(err) {
+		t.Fatalf("pre-cancelled Run: %v", err)
 	}
 }

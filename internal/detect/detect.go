@@ -11,10 +11,14 @@
 package detect
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"fastmon/internal/fault"
+	"fastmon/internal/fmerr"
 	"fastmon/internal/interval"
 	"fastmon/internal/monitor"
 	"fastmon/internal/sim"
@@ -125,11 +129,22 @@ func (pr PatternRange) CombinedFree(cfg Config, delays []tunit.Time) interval.Se
 	return u
 }
 
+// testHookPanic, when non-nil, is called before every (fault, pattern)
+// simulation inside the worker pool. Tests install a hook that panics for
+// a chosen fault to prove the pool converts worker panics into errors
+// instead of crashing the process. Always nil in production.
+var testHookPanic func(f fault.Fault, pattern int)
+
 // Run simulates every fault under every pattern and returns the sparse
 // detection data, ordered like the fault list. Simulation parallelizes
 // over patterns; each worker simulates the fault-free circuit once per
 // pattern and then injects every fault into it.
-func Run(e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
+//
+// A panic in a worker is recovered and converted to a *fmerr.PanicError
+// naming the fault and pattern being simulated; it fails the run, not the
+// process. Cancelling ctx stops dispatch and returns the context error
+// wrapped with detect-stage attribution.
+func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
 	patterns []sim.Pattern, cfg Config) ([]FaultData, error) {
 
 	workers := cfg.Workers
@@ -155,6 +170,11 @@ func Run(e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
 	}
 	var mu sync.Mutex
 
+	// Workers cancel the pool on first failure so the dispatcher and the
+	// remaining workers stop promptly instead of draining the pattern set.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	work := make(chan int)
 	errCh := make(chan error, workers)
 	var wg sync.WaitGroup
@@ -162,14 +182,41 @@ func Run(e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// curFault/curPat track the work item for panic attribution.
+			curFault, curPat := -1, -1
+			fail := func(err error) {
+				errCh <- err
+				cancel()
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					item := fmt.Sprintf("pattern %d", curPat)
+					if curFault >= 0 {
+						item = fmt.Sprintf("fault %s under pattern %d",
+							faults[curFault].Injection(cfg.Delta), curPat)
+					}
+					fail(fmerr.NewPanic(fmerr.StageDetect, item, r))
+				}
+			}()
 			local := make(map[int]map[int]cell) // fault -> pattern -> cell
 			for pi := range work {
-				base, err := e.Baseline(patterns[pi])
+				curFault, curPat = -1, pi
+				base, err := e.BaselineContext(wctx, patterns[pi])
 				if err != nil {
-					errCh <- err
+					fail(err)
 					return
 				}
 				for fi, f := range faults {
+					if fi&63 == 0 {
+						if err := wctx.Err(); err != nil {
+							fail(fmerr.Wrap(fmerr.StageDetect, "run", err))
+							return
+						}
+					}
+					curFault = fi
+					if testHookPanic != nil {
+						testHookPanic(f, pi)
+					}
 					dets := e.FaultSim(base, f.Injection(cfg.Delta), horizon)
 					if len(dets) == 0 {
 						continue
@@ -209,15 +256,33 @@ func Run(e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
 			mu.Unlock()
 		}()
 	}
+	// The dispatcher must never block on a send to a pool whose workers
+	// have bailed out: select on pool cancellation alongside each send.
+dispatch:
 	for pi := range patterns {
-		work <- pi
+		select {
+		case work <- pi:
+		case <-wctx.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
+	close(errCh)
+	// A panicking worker cancels the pool, so its peers also report the
+	// (secondary) cancellation; keep the most informative error.
+	var firstErr error
+	for err := range errCh {
+		if firstErr == nil || (!isPanicErr(firstErr) && isPanicErr(err)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// No worker failed; a cancelled parent context still aborts the run.
+	if err := ctx.Err(); err != nil {
+		return nil, fmerr.Wrap(fmerr.StageDetect, "run", err)
 	}
 
 	out := make([]FaultData, len(faults))
@@ -237,6 +302,11 @@ func Run(e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
 		}
 	}
 	return out, nil
+}
+
+func isPanicErr(err error) bool {
+	var pe *fmerr.PanicError
+	return errors.As(err, &pe)
 }
 
 func sortInts(a []int) {

@@ -1,12 +1,17 @@
 package detect
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	"fastmon/internal/atpg"
 	"fastmon/internal/cell"
 	"fastmon/internal/circuit"
 	"fastmon/internal/fault"
+	"fastmon/internal/fmerr"
 	"fastmon/internal/interval"
 	"fastmon/internal/monitor"
 	"fastmon/internal/sim"
@@ -25,7 +30,10 @@ func testbed(t *testing.T) (*sim.Engine, *monitor.Placement, Config, []fault.Fau
 	placement := monitor.Place(r, 1.0, monitor.StandardDelays(clk)) // monitor all FFs
 	e := sim.NewEngine(c, a)
 	faults := fault.Universe(c)
-	pats, _ := atpg.Generate(c, faults, atpg.DefaultConfig(11))
+	pats, _, err := atpg.Generate(context.Background(), c, faults, atpg.DefaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := Config{
 		Clk:    clk,
 		TMin:   clk / 3,
@@ -37,7 +45,7 @@ func testbed(t *testing.T) (*sim.Engine, *monitor.Placement, Config, []fault.Fau
 
 func TestRunBasicInvariants(t *testing.T) {
 	e, placement, cfg, faults, pats := testbed(t)
-	data, err := Run(e, placement, faults, pats, cfg)
+	data, err := Run(context.Background(), e, placement, faults, pats, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,13 +99,13 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	e, placement, cfg, faults, pats := testbed(t)
 	cfg1 := cfg
 	cfg1.Workers = 1
-	d1, err := Run(e, placement, faults, pats, cfg1)
+	d1, err := Run(context.Background(), e, placement, faults, pats, cfg1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg8 := cfg
 	cfg8.Workers = 8
-	d8, err := Run(e, placement, faults, pats, cfg8)
+	d8, err := Run(context.Background(), e, placement, faults, pats, cfg8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +124,7 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 
 func TestCombinedShiftProperty(t *testing.T) {
 	e, placement, cfg, faults, pats := testbed(t)
-	data, err := Run(e, placement, faults, pats, cfg)
+	data, err := Run(context.Background(), e, placement, faults, pats, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +160,7 @@ func TestCombinedShiftProperty(t *testing.T) {
 
 func TestCombinedAt(t *testing.T) {
 	e, placement, cfg, faults, pats := testbed(t)
-	data, err := Run(e, placement, faults, pats, cfg)
+	data, err := Run(context.Background(), e, placement, faults, pats, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +207,7 @@ func TestMonitorShiftEnablesDetection(t *testing.T) {
 
 	fl := []fault.Fault{{Gate: b1, Pin: -1, Rising: true}}
 	pats := []sim.Pattern{{V1: []bool{false, false, false}, V2: []bool{true, false, false}}}
-	data, err := Run(e, placement, fl, pats, cfg)
+	data, err := Run(context.Background(), e, placement, fl, pats, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +227,7 @@ func TestMonitorShiftEnablesDetection(t *testing.T) {
 
 func TestRunNoMonitors(t *testing.T) {
 	e, _, cfg, faults, pats := testbed(t)
-	data, err := Run(e, nil, faults, pats, cfg)
+	data, err := Run(context.Background(), e, nil, faults, pats, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,6 +237,68 @@ func TestRunNoMonitors(t *testing.T) {
 				t.Fatal("SR range without monitors")
 			}
 		}
+	}
+}
+
+// TestWorkerPanicIsolated proves the chaos hook: a worker panicking on one
+// specific fault yields a typed error naming that fault instead of
+// crashing the process.
+func TestWorkerPanicIsolated(t *testing.T) {
+	e, placement, cfg, faults, pats := testbed(t)
+	victim := faults[len(faults)/2]
+	testHookPanic = func(f fault.Fault, pattern int) {
+		if f == victim {
+			panic("chaos: injected worker failure")
+		}
+	}
+	defer func() { testHookPanic = nil }()
+
+	cfg.Workers = 4
+	data, err := Run(context.Background(), e, placement, faults, pats, cfg)
+	if err == nil {
+		t.Fatal("panicking worker did not fail the run")
+	}
+	if data != nil {
+		t.Fatal("partial data returned alongside error")
+	}
+	var pe *fmerr.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not a PanicError: %v", err)
+	}
+	if pe.Stage != fmerr.StageDetect {
+		t.Fatalf("stage = %q", pe.Stage)
+	}
+	want := victim.Injection(cfg.Delta).String()
+	if !strings.Contains(pe.Item, want) {
+		t.Fatalf("item %q does not name the offending fault %q", pe.Item, want)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+}
+
+// TestRunCanceled proves prompt cancellation: a pre-cancelled context
+// returns a stage-attributed context error without simulating anything.
+func TestRunCanceled(t *testing.T) {
+	e, placement, cfg, faults, pats := testbed(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := Run(ctx, e, placement, faults, pats, cfg)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if !fmerr.IsCanceled(err) {
+		t.Fatalf("IsCanceled false for %v", err)
+	}
+	if fmerr.StageOf(err) == "" {
+		t.Fatalf("no stage attribution: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled run took %v", d)
 	}
 }
 

@@ -1,6 +1,7 @@
 package diagnose
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -27,7 +28,10 @@ func bed(t *testing.T) (*sim.Engine, *monitor.Placement, []sim.Pattern, []fault.
 	placement := monitor.Place(r, 0.5, monitor.StandardDelays(clk))
 	e := sim.NewEngine(c, a)
 	faults := fault.Sample(fault.Universe(c), 6)
-	pats, _ := atpg.Generate(c, faults, atpg.DefaultConfig(3))
+	pats, _, err := atpg.Generate(context.Background(), c, faults, atpg.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := Config{Delta: lib.FaultSize(), Glitch: lib.MinPulse()}
 	return e, placement, pats, faults, cfg, clk
 }

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -30,7 +31,7 @@ type FractionRow struct {
 // AblateMonitorFraction reruns the flow with different monitor budgets.
 // The paper fixes 25%; the ablation shows the coverage/test-time trade-off
 // around that choice.
-func AblateMonitorFraction(spec Spec, cfg SuiteConfig, fractions []float64) ([]FractionRow, error) {
+func AblateMonitorFraction(ctx context.Context, spec Spec, cfg SuiteConfig, fractions []float64) ([]FractionRow, error) {
 	cfg = cfg.Defaults()
 	c, err := spec.Build(cfg.Scale)
 	if err != nil {
@@ -45,7 +46,7 @@ func AblateMonitorFraction(spec Spec, cfg SuiteConfig, fractions []float64) ([]F
 	}
 	var rows []FractionRow
 	for _, fr := range fractions {
-		flow, err := core.Run(c, lib, nil, core.Config{
+		flow, err := core.Run(ctx, c, lib, nil, core.Config{
 			MonitorFraction: fr,
 			FaultSampleK:    sampleK,
 			ATPGSeed:        spec.Seed,
@@ -63,7 +64,7 @@ func AblateMonitorFraction(spec Spec, cfg SuiteConfig, fractions []float64) ([]F
 			Target:   len(flow.TargetIdx),
 		}
 		if len(flow.TargetData) > 0 {
-			s, err := flow.BuildSchedule(schedule.ILP, 1.0)
+			s, err := flow.BuildSchedule(ctx, schedule.ILP, 1.0)
 			if err != nil {
 				return nil, err
 			}
@@ -88,7 +89,7 @@ type DelayRow struct {
 // fixed monitors of [14]; the full set is the paper's programmable
 // monitor. Detection data is reused — only the shifting and scheduling
 // change.
-func AblateDelayConfigs(r *Run) ([]DelayRow, error) {
+func AblateDelayConfigs(ctx context.Context, r *Run) ([]DelayRow, error) {
 	flow := r.Flow
 	all := flow.Delays()
 	if len(all) != 4 {
@@ -110,7 +111,7 @@ func AblateDelayConfigs(r *Run) ([]DelayRow, error) {
 		if sub.delays == nil {
 			opt.Method = schedule.Conventional
 		}
-		s, err := schedule.Build(flow.TargetData, opt)
+		s, err := schedule.Build(ctx, flow.TargetData, opt)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", sub.label, err)
 		}
@@ -138,13 +139,13 @@ type FreeConfigRow struct {
 // shared-setting restriction. Frequency selection is identical (the
 // coverable union does not depend on the restriction); only the
 // per-frequency pattern-configuration count changes.
-func AblateFreeConfig(r *Run) ([]FreeConfigRow, error) {
+func AblateFreeConfig(ctx context.Context, r *Run) ([]FreeConfigRow, error) {
 	flow := r.Flow
 	var rows []FreeConfigRow
 	for _, free := range []bool{false, true} {
 		opt := flow.ScheduleOptions(schedule.ILP, 1.0)
 		opt.FreeConfig = free
-		s, err := schedule.Build(flow.TargetData, opt)
+		s, err := schedule.Build(ctx, flow.TargetData, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +172,7 @@ type GlitchRow struct {
 // AblateGlitch reruns the flow with scaled pulse-filtering thresholds to
 // quantify the cost of the pessimistic filtering of Fig. 1 (scale 0 =
 // optimistic, no filtering).
-func AblateGlitch(spec Spec, cfg SuiteConfig, scales []float64) ([]GlitchRow, error) {
+func AblateGlitch(ctx context.Context, spec Spec, cfg SuiteConfig, scales []float64) ([]GlitchRow, error) {
 	cfg = cfg.Defaults()
 	c, err := spec.Build(cfg.Scale)
 	if err != nil {
@@ -198,7 +199,7 @@ func AblateGlitch(spec Spec, cfg SuiteConfig, scales []float64) ([]GlitchRow, er
 			// "no filtering" point.
 			gcfg.GlitchScale = 1e-9
 		}
-		flow, err := core.Run(c, lib, nil, gcfg)
+		flow, err := core.Run(ctx, c, lib, nil, gcfg)
 		if err != nil {
 			return nil, fmt.Errorf("glitch scale %.1f: %w", sc, err)
 		}

@@ -1,13 +1,14 @@
 package exper
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestAblateMonitorFraction(t *testing.T) {
 	spec := mustSpec(t, "s9234")
-	rows, err := AblateMonitorFraction(spec, smallCfg(), []float64{0.10, 0.25, 1.0})
+	rows, err := AblateMonitorFraction(context.Background(), spec, smallCfg(), []float64{0.10, 0.25, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,11 +30,11 @@ func TestAblateMonitorFraction(t *testing.T) {
 }
 
 func TestAblateDelayConfigs(t *testing.T) {
-	r, err := RunCircuit(mustSpec(t, "s9234"), smallCfg())
+	r, err := RunCircuit(context.Background(), mustSpec(t, "s9234"), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := AblateDelayConfigs(r)
+	rows, err := AblateDelayConfigs(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestAblateDelayConfigs(t *testing.T) {
 
 func TestAblateGlitch(t *testing.T) {
 	spec := mustSpec(t, "s9234")
-	rows, err := AblateGlitch(spec, smallCfg(), []float64{0, 1, 2})
+	rows, err := AblateGlitch(context.Background(), spec, smallCfg(), []float64{0, 1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +96,11 @@ func TestWriteAblation(t *testing.T) {
 }
 
 func TestAblateFreeConfig(t *testing.T) {
-	r, err := RunCircuit(mustSpec(t, "s13207"), smallCfg())
+	r, err := RunCircuit(context.Background(), mustSpec(t, "s13207"), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := AblateFreeConfig(r)
+	rows, err := AblateFreeConfig(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,269 @@
+package exper
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fastmon/internal/fmerr"
+)
+
+// Checkpointing for multi-circuit harness runs: the full-scale suite takes
+// hours per circuit, so the driver persists each circuit's derived results
+// (table rows, sweep points) as one JSON file immediately after the
+// circuit finishes. A resumed run reloads the directory and recomputes
+// only the circuits that are missing, corrupt, or were produced under a
+// different configuration.
+
+// TableRequest names the artifacts a harness run wants per circuit.
+type TableRequest struct {
+	T1 bool
+	T2 bool
+	T3 bool
+	// Fig3Steps > 0 requests the Fig. 3 sweep with that many steps. The
+	// driver requests it only for the first circuit, matching the paper.
+	Fig3Steps int
+}
+
+// CircuitResult is the checkpointed outcome of one suite circuit: the
+// derived rows rather than the flow itself (detection data does not
+// serialize compactly, and the tables are what the harness is after).
+type CircuitResult struct {
+	Name string `json:"name"`
+	// Scale and MaxFaults fingerprint the configuration the result was
+	// computed under; a resumed run with different settings must not reuse
+	// the entry.
+	Scale     float64 `json:"scale"`
+	MaxFaults int     `json:"max_faults"`
+
+	T1   *T1Row      `json:"t1,omitempty"`
+	T2   *T2Row      `json:"t2,omitempty"`
+	T3   *T3Row      `json:"t3,omitempty"`
+	Fig3 []Fig3Point `json:"fig3,omitempty"`
+
+	// Degradation records the worst result-quality rung among the
+	// schedules behind T2/T3 ("exact" or "incumbent").
+	Degradation string `json:"degradation,omitempty"`
+}
+
+// Satisfies reports whether the checkpointed entry contains every artifact
+// the request asks for, so a resumed run with a broader request recomputes
+// the circuit instead of serving a partial entry.
+func (r *CircuitResult) Satisfies(req TableRequest) bool {
+	if req.T1 && r.T1 == nil {
+		return false
+	}
+	if req.T2 && r.T2 == nil {
+		return false
+	}
+	if req.T3 && r.T3 == nil {
+		return false
+	}
+	if req.Fig3Steps > 0 && len(r.Fig3) == 0 {
+		return false
+	}
+	return true
+}
+
+// Matches reports whether the entry was computed under the given suite
+// configuration.
+func (r *CircuitResult) Matches(cfg SuiteConfig) bool {
+	cfg = cfg.Defaults()
+	return r.Scale == cfg.Scale && r.MaxFaults == cfg.MaxFaults
+}
+
+// checkpointPath places one circuit's entry in the directory. Suite names
+// are identifier-like ("s9234", "p141k"), so the name maps to a filename
+// directly.
+func checkpointPath(dir, name string) string {
+	return filepath.Join(dir, name+".json")
+}
+
+// SaveCheckpoint atomically persists one circuit result: the entry is
+// written to a temporary file in the same directory and renamed into
+// place, so a crash mid-write never corrupts an existing entry.
+func SaveCheckpoint(dir string, res *CircuitResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmerr.Wrap(fmerr.StageCheckpoint, "mkdir", err)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmerr.Wrap(fmerr.StageCheckpoint, "marshal", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+res.Name+"-*.tmp")
+	if err != nil {
+		return fmerr.Wrap(fmerr.StageCheckpoint, "tempfile", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmerr.Wrap(fmerr.StageCheckpoint, "write", werr)
+	}
+	if err := os.Rename(tmp.Name(), checkpointPath(dir, res.Name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmerr.Wrap(fmerr.StageCheckpoint, "rename", err)
+	}
+	return nil
+}
+
+// LoadCheckpoints reads every usable entry from the directory, keyed by
+// circuit name. Corrupt entries and entries computed under a different
+// configuration are skipped (reported in skipped), not fatal: the resumed
+// run recomputes them. A missing directory yields an empty map.
+func LoadCheckpoints(dir string, cfg SuiteConfig) (entries map[string]*CircuitResult, skipped []string, err error) {
+	entries = map[string]*CircuitResult{}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return entries, nil, nil
+		}
+		return nil, nil, fmerr.Wrap(fmerr.StageCheckpoint, "readdir", err)
+	}
+	for _, f := range files {
+		name := f.Name()
+		if f.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		var res CircuitResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		if res.Name != strings.TrimSuffix(name, ".json") {
+			skipped = append(skipped, fmt.Sprintf("%s: entry names %q", name, res.Name))
+			continue
+		}
+		if !res.Matches(cfg) {
+			skipped = append(skipped, fmt.Sprintf("%s: computed under scale %.3f / %d faults", name, res.Scale, res.MaxFaults))
+			continue
+		}
+		entries[res.Name] = &res
+	}
+	return entries, skipped, nil
+}
+
+// ComputeCircuit runs one suite circuit end to end and derives the
+// requested artifacts.
+func ComputeCircuit(ctx context.Context, spec Spec, cfg SuiteConfig, req TableRequest) (*CircuitResult, error) {
+	cfg = cfg.Defaults()
+	r, err := RunCircuit(ctx, spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &CircuitResult{Name: spec.Name, Scale: cfg.Scale, MaxFaults: cfg.MaxFaults}
+	worst := fmerr.DegradeNone
+	if req.T1 {
+		row := TableI(r)
+		res.T1 = &row
+	}
+	if req.T2 {
+		row, schedules, err := TableII(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		res.T2 = &row
+		for _, s := range schedules {
+			worst = fmerr.Worse(worst, s.Degradation)
+		}
+	}
+	if req.T3 {
+		row, err := TableIII(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		res.T3 = &row
+	}
+	if req.Fig3Steps > 0 {
+		res.Fig3 = Fig3(r, req.Fig3Steps)
+	}
+	res.Degradation = worst.String()
+	return res, nil
+}
+
+// SuiteProgress is called by RunSuiteCheckpointed after every circuit with
+// the fresh or reloaded result and whether it came from a checkpoint.
+type SuiteProgress func(res *CircuitResult, cached bool)
+
+// RunSuiteCheckpointed drives the configured suite subset with
+// checkpointing. For each circuit it reuses a matching checkpoint entry if
+// one satisfies the request, otherwise it recomputes the circuit and —
+// when dir is non-empty — persists the result before moving on.
+//
+// Closing stop requests a graceful shutdown: the current circuit finishes
+// and is flushed, then the run returns the results so far with a
+// partial-result error (degradation "partial"). Cancelling ctx aborts the
+// current circuit itself. progress may be nil.
+func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest, dir string,
+	stop <-chan struct{}, progress SuiteProgress) ([]*CircuitResult, error) {
+
+	cfg = cfg.Defaults()
+	specs, err := cfg.Select()
+	if err != nil {
+		return nil, err
+	}
+	var cached map[string]*CircuitResult
+	if dir != "" {
+		cached, _, err = LoadCheckpoints(dir, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	stopped := func() bool {
+		if stop == nil {
+			return false
+		}
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+	var out []*CircuitResult
+	for i, spec := range specs {
+		if stopped() {
+			return out, fmerr.Errorf(fmerr.StageExper, "suite",
+				"stopped after %d of %d circuits (results are partial)", len(out), len(specs))
+		}
+		if err := ctx.Err(); err != nil {
+			return out, fmerr.Wrap(fmerr.StageExper, "suite", err)
+		}
+		creq := req
+		if i > 0 {
+			creq.Fig3Steps = 0 // Fig. 3 is evaluated on the first circuit only
+		}
+		if res, ok := cached[spec.Name]; ok && res.Satisfies(creq) {
+			out = append(out, res)
+			if progress != nil {
+				progress(res, true)
+			}
+			continue
+		}
+		res, err := ComputeCircuit(ctx, spec, cfg, creq)
+		if err != nil {
+			return out, fmerr.Wrap(fmerr.StageExper, spec.Name, err)
+		}
+		if dir != "" {
+			if err := SaveCheckpoint(dir, res); err != nil {
+				return out, err
+			}
+		}
+		out = append(out, res)
+		if progress != nil {
+			progress(res, false)
+		}
+	}
+	return out, nil
+}

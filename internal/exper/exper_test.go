@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -67,7 +68,7 @@ func TestSuiteConfigSelect(t *testing.T) {
 }
 
 func TestRunCircuitAndTables(t *testing.T) {
-	r, err := RunCircuit(mustSpec(t, "s9234"), smallCfg())
+	r, err := RunCircuit(context.Background(), mustSpec(t, "s9234"), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestRunCircuitAndTables(t *testing.T) {
 		t.Fatalf("target exceeds prop-detected: %+v", row1)
 	}
 
-	row2, schedules, err := TableII(r)
+	row2, schedules, err := TableII(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestRunCircuitAndTables(t *testing.T) {
 		}
 	}
 
-	row3, err := TableIII(r)
+	row3, err := TableIII(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestRunSuiteSubset(t *testing.T) {
 		t.Skip("suite run in short mode")
 	}
 	cfg := SuiteConfig{Scale: 0.06, MaxFaults: 800, Names: []string{"s9234", "s13207"}}
-	runs, err := RunSuite(cfg)
+	runs, err := RunSuite(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -36,7 +37,7 @@ type LifetimePoint struct {
 // device's nominal clock. Both the structural classification and the
 // simulation-based HDF counts shift from "hidden" toward "at-speed" as
 // delays grow.
-func LifetimeSweep(spec Spec, cfg SuiteConfig, model aging.Model, years []float64) ([]LifetimePoint, error) {
+func LifetimeSweep(ctx context.Context, spec Spec, cfg SuiteConfig, model aging.Model, years []float64) ([]LifetimePoint, error) {
 	cfg = cfg.Defaults()
 	c, err := spec.Build(cfg.Scale)
 	if err != nil {
@@ -56,7 +57,7 @@ func LifetimeSweep(spec Spec, cfg SuiteConfig, model aging.Model, years []float6
 	var out []LifetimePoint
 	for _, y := range years {
 		aged := aging.Degrade(fresh, model, y)
-		flow, err := core.Run(c, lib, aged, core.Config{
+		flow, err := core.Run(ctx, c, lib, aged, core.Config{
 			FaultSampleK: sampleK,
 			ATPGSeed:     spec.Seed,
 			Workers:      cfg.Workers,

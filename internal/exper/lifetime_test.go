@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 func TestLifetimeSweep(t *testing.T) {
 	spec := mustSpec(t, "s9234")
 	model := aging.Model{A: 0.3, N: 0.3, Seed: 5}
-	pts, err := LifetimeSweep(spec, smallCfg(), model, []float64{0, 5, 15})
+	pts, err := LifetimeSweep(context.Background(), spec, smallCfg(), model, []float64{0, 5, 15})
 	if err != nil {
 		t.Fatal(err)
 	}

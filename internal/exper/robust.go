@@ -1,9 +1,11 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"fastmon/internal/fmerr"
 	"fastmon/internal/schedule"
 	"fastmon/internal/sim"
 	"fastmon/internal/tunit"
@@ -28,7 +30,7 @@ type RobustnessPoint struct {
 
 // VariationRobustness re-simulates the scheduled (fault, pattern, config)
 // detections under random delay variation and reports surviving coverage.
-func VariationRobustness(r *Run, s *schedule.Schedule, sigmaFrac float64, trials int, seedBase int64) (RobustnessPoint, error) {
+func VariationRobustness(ctx context.Context, r *Run, s *schedule.Schedule, sigmaFrac float64, trials int, seedBase int64) (RobustnessPoint, error) {
 	flow := r.Flow
 	pt := RobustnessPoint{SigmaFrac: sigmaFrac, Trials: trials, WorstCoverage: 1}
 	total := 0
@@ -43,6 +45,9 @@ func VariationRobustness(r *Run, s *schedule.Schedule, sigmaFrac float64, trials
 	horizon := flow.Clk + 1
 	sum := 0.0
 	for trial := 0; trial < trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return pt, fmerr.Wrap(fmerr.StageExper, "robustness", err)
+		}
 		annot := flow.Annot.WithVariation(sigmaFrac, seedBase+int64(trial))
 		e := sim.NewEngine(flow.Circuit, annot)
 		baseCache := map[int][]sim.Waveform{}
@@ -50,7 +55,7 @@ func VariationRobustness(r *Run, s *schedule.Schedule, sigmaFrac float64, trials
 			if b, ok := baseCache[pi]; ok {
 				return b, nil
 			}
-			b, err := e.Baseline(flow.Patterns[pi])
+			b, err := e.BaselineContext(ctx, flow.Patterns[pi])
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,17 +9,17 @@ import (
 )
 
 func TestVariationRobustness(t *testing.T) {
-	r, err := RunCircuit(mustSpec(t, "s9234"), smallCfg())
+	r, err := RunCircuit(context.Background(), mustSpec(t, "s9234"), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := r.Flow.BuildSchedule(schedule.ILP, 1.0)
+	s, err := r.Flow.BuildSchedule(context.Background(), schedule.ILP, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Zero variation must reproduce the schedule exactly.
-	p0, err := VariationRobustness(r, s, 0, 1, 99)
+	p0, err := VariationRobustness(context.Background(), r, s, 0, 1, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestVariationRobustness(t *testing.T) {
 
 	// Mild variation (σ = 2%): mid-point capture times must hold up for
 	// the vast majority of scheduled detections.
-	p2, err := VariationRobustness(r, s, 0.02, 3, 99)
+	p2, err := VariationRobustness(context.Background(), r, s, 0.02, 3, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestVariationRobustness(t *testing.T) {
 	}
 
 	// Heavier variation can only hurt (allow small sampling noise).
-	p10, err := VariationRobustness(r, s, 0.10, 3, 99)
+	p10, err := VariationRobustness(context.Background(), r, s, 0.10, 3, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,12 +57,12 @@ func TestVariationRobustness(t *testing.T) {
 }
 
 func TestVariationRobustnessEmptySchedule(t *testing.T) {
-	r, err := RunCircuit(mustSpec(t, "s9234"), smallCfg())
+	r, err := RunCircuit(context.Background(), mustSpec(t, "s9234"), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
 	empty := &schedule.Schedule{}
-	p, err := VariationRobustness(r, empty, 0.05, 2, 1)
+	p, err := VariationRobustness(context.Background(), r, empty, 0.05, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

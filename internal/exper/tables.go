@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,7 +19,7 @@ type Run struct {
 }
 
 // RunCircuit executes the end-to-end flow for one suite entry.
-func RunCircuit(spec Spec, cfg SuiteConfig) (*Run, error) {
+func RunCircuit(ctx context.Context, spec Spec, cfg SuiteConfig) (*Run, error) {
 	cfg = cfg.Defaults()
 	c, err := spec.Build(cfg.Scale)
 	if err != nil {
@@ -33,7 +34,7 @@ func RunCircuit(spec Spec, cfg SuiteConfig) (*Run, error) {
 			sampleK = (n + cfg.MaxFaults - 1) / cfg.MaxFaults
 		}
 	}
-	flow, err := core.Run(c, lib, nil, core.Config{
+	flow, err := core.Run(ctx, c, lib, nil, core.Config{
 		FaultSampleK: sampleK,
 		ATPGSeed:     spec.Seed,
 		Workers:      cfg.Workers,
@@ -46,14 +47,14 @@ func RunCircuit(spec Spec, cfg SuiteConfig) (*Run, error) {
 }
 
 // RunSuite executes the configured subset of the suite.
-func RunSuite(cfg SuiteConfig) ([]*Run, error) {
+func RunSuite(ctx context.Context, cfg SuiteConfig) ([]*Run, error) {
 	specs, err := cfg.Defaults().Select()
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Run, 0, len(specs))
 	for _, spec := range specs {
-		r, err := RunCircuit(spec, cfg)
+		r, err := RunCircuit(ctx, spec, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("exper: %s: %w", spec.Name, err)
 		}
@@ -114,11 +115,11 @@ type T2Row struct {
 
 // TableII builds all three schedules for the run and reports the
 // comparison row. The schedules themselves are returned for inspection.
-func TableII(r *Run) (T2Row, map[schedule.Method]*schedule.Schedule, error) {
+func TableII(ctx context.Context, r *Run) (T2Row, map[schedule.Method]*schedule.Schedule, error) {
 	f := r.Flow
 	schedules := map[schedule.Method]*schedule.Schedule{}
 	for _, m := range []schedule.Method{schedule.Conventional, schedule.Heuristic, schedule.ILP} {
-		s, err := f.BuildSchedule(m, 1.0)
+		s, err := f.BuildSchedule(ctx, m, 1.0)
 		if err != nil {
 			return T2Row{}, nil, fmt.Errorf("%s/%v: %w", r.Spec.Name, m, err)
 		}
@@ -161,11 +162,11 @@ type T3Row struct {
 var TableIIICoverages = []float64{0.99, 0.98, 0.95, 0.90}
 
 // TableIII builds ILP schedules for each partial-coverage target.
-func TableIII(r *Run) (T3Row, error) {
+func TableIII(ctx context.Context, r *Run) (T3Row, error) {
 	f := r.Flow
 	row := T3Row{Name: r.Spec.Name}
 	for _, cov := range TableIIICoverages {
-		s, err := f.BuildSchedule(schedule.ILP, cov)
+		s, err := f.BuildSchedule(ctx, schedule.ILP, cov)
 		if err != nil {
 			return T3Row{}, fmt.Errorf("%s/cov%.2f: %w", r.Spec.Name, cov, err)
 		}

@@ -1,0 +1,104 @@
+package fmerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWrapAttribution(t *testing.T) {
+	base := errors.New("boom")
+	err := Wrap(StageDetect, "run", base)
+	if got := err.Error(); got != "detect/run: boom" {
+		t.Fatalf("Error() = %q", got)
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("wrapped error lost its chain")
+	}
+	if StageOf(err) != StageDetect {
+		t.Fatalf("StageOf = %q", StageOf(err))
+	}
+	if Wrap(StageDetect, "run", nil) != nil {
+		t.Fatal("Wrap(nil) must be nil")
+	}
+	// No op: stage-only rendering.
+	if got := Wrap(StageATPG, "", base).Error(); got != "atpg: boom" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestErrorfAndNestedStage(t *testing.T) {
+	inner := Errorf(StageSolve, "setcover", "no cover for %d elements", 7)
+	outer := Wrap(StageSchedule, "frequencies", inner)
+	// Outermost stage wins.
+	if StageOf(outer) != StageSchedule {
+		t.Fatalf("StageOf = %q", StageOf(outer))
+	}
+	var e *Error
+	if !errors.As(outer, &e) || e.Stage != StageSchedule {
+		t.Fatal("errors.As failed on outer")
+	}
+	if !strings.Contains(outer.Error(), "setcover") {
+		t.Fatalf("nested rendering lost inner op: %q", outer)
+	}
+}
+
+func TestIsCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !IsCanceled(Wrap(StageDetect, "run", ctx.Err())) {
+		t.Fatal("canceled context not detected through wrap")
+	}
+	if !IsCanceled(fmt.Errorf("outer: %w", context.DeadlineExceeded)) {
+		t.Fatal("deadline not detected")
+	}
+	if IsCanceled(errors.New("boom")) {
+		t.Fatal("ordinary error misdetected as cancellation")
+	}
+	if IsCanceled(nil) {
+		t.Fatal("nil misdetected")
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = NewPanic(StageDetect, "fault g3/out/str under pattern 2", r)
+			}
+		}()
+		panic("injected")
+	}()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("not a PanicError: %v", err)
+	}
+	if pe.Value != "injected" || len(pe.Stack) == 0 {
+		t.Fatalf("panic payload lost: %+v", pe)
+	}
+	if !strings.Contains(err.Error(), "pattern 2") {
+		t.Fatalf("work item missing from message: %q", err)
+	}
+	if StageOf(err) != StageDetect {
+		t.Fatalf("StageOf = %q", StageOf(err))
+	}
+}
+
+func TestDegradationLadder(t *testing.T) {
+	if DegradeNone.String() != "exact" || DegradeIncumbent.String() != "incumbent" ||
+		DegradePartial.String() != "partial" {
+		t.Fatal("degradation strings")
+	}
+	if !strings.Contains(Degradation(9).String(), "9") {
+		t.Fatal("unknown rung rendering")
+	}
+	if Worse(DegradeNone, DegradeIncumbent) != DegradeIncumbent {
+		t.Fatal("Worse picks the wrong rung")
+	}
+	if Worse(DegradePartial, DegradeIncumbent) != DegradePartial {
+		t.Fatal("Worse must keep the lower rung")
+	}
+}

@@ -1,10 +1,11 @@
 package ilp
 
 import (
-	"fmt"
+	"context"
 	"sort"
 
 	"fastmon/internal/bitset"
+	"fastmon/internal/fmerr"
 )
 
 // CoverResult is the outcome of a covering solve.
@@ -16,13 +17,16 @@ type CoverResult struct {
 	Optimal bool
 	// Nodes counts branch-and-bound nodes.
 	Nodes int
+	// Degradation reports the result-quality rung: exact when optimality
+	// was proven, incumbent after a budget or cancellation abort.
+	Degradation fmerr.Degradation
 }
 
 // GreedyCover returns a feasible cover by repeatedly choosing the set with
 // the largest number of still-uncovered elements — the heuristic selection
 // of [17] that the paper's Table II compares against (column "heur.").
-// It panics if the universe is not coverable.
-func GreedyCover(sets []*bitset.Set, universe *bitset.Set) []int {
+// It returns a stage-attributed error if the universe is not coverable.
+func GreedyCover(sets []*bitset.Set, universe *bitset.Set) ([]int, error) {
 	uncovered := universe.Clone()
 	var out []int
 	for !uncovered.Empty() {
@@ -33,13 +37,14 @@ func GreedyCover(sets []*bitset.Set, universe *bitset.Set) []int {
 			}
 		}
 		if best < 0 {
-			panic("ilp: GreedyCover on uncoverable universe")
+			return nil, fmerr.Errorf(fmerr.StageSolve, "greedy",
+				"universe not coverable: %d elements unreachable", uncovered.Count())
 		}
 		out = append(out, best)
 		uncovered.AndNot(sets[best])
 	}
 	sort.Ints(out)
-	return out
+	return out, nil
 }
 
 // Coverable reports whether the universe is covered by the union of sets.
@@ -71,10 +76,27 @@ func CoverModel(sets []*bitset.Set, universe *bitset.Set) *Model {
 
 // SetCover solves minimum set cover exactly by branch-and-bound with
 // covering presolve. It returns an error when the universe is not
-// coverable.
-func SetCover(sets []*bitset.Set, universe *bitset.Set, opts Options) (CoverResult, error) {
+// coverable. The context is polled at node granularity: an expired
+// deadline (the paper's solver timeout) returns the best incumbent with a
+// nil error; cancellation returns the incumbent together with an error
+// wrapping context.Canceled.
+func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opts Options) (CoverResult, error) {
 	if !Coverable(sets, universe) {
-		return CoverResult{}, fmt.Errorf("ilp: universe not coverable by the given sets")
+		return CoverResult{}, fmerr.Errorf(fmerr.StageSolve, "setcover",
+			"universe not coverable by the given sets")
+	}
+	// Entry check: with the budget already spent (or the flow cancelled)
+	// the greedy cover is the whole result.
+	if s := checkCtx(ctx); s != stopNone {
+		g, err := GreedyCover(sets, universe)
+		if err != nil {
+			return CoverResult{}, err
+		}
+		res := CoverResult{Selected: g, Degradation: fmerr.DegradeIncumbent}
+		if s == stopCanceled {
+			return res, fmerr.Wrap(fmerr.StageSolve, "setcover", ctx.Err())
+		}
+		return res, nil
 	}
 	res := CoverResult{}
 	uncovered := universe.Clone()
@@ -171,28 +193,33 @@ func SetCover(sets []*bitset.Set, universe *bitset.Set, opts Options) (CoverResu
 		}
 	}
 
-	// Greedy incumbent.
-	incumbent := GreedyCover(sub, uncovered)
+	// Greedy incumbent. Coverability was established above, so a greedy
+	// failure here is an internal inconsistency worth surfacing.
+	incumbent, err := GreedyCover(sub, uncovered)
+	if err != nil {
+		return CoverResult{}, err
+	}
 	bestLen := len(incumbent)
 	bestSel := append([]int(nil), incumbent...)
-	proven := true
 
 	// Branch on the element with the fewest covering sets; children try
 	// each covering set in decreasing gain order.
 	cur := make([]int, 0, bestLen)
-	stopped := false
+	stopped := stopNone
 	var dfs func(unc *bitset.Set)
 	dfs = func(unc *bitset.Set) {
-		if stopped {
+		if stopped != stopNone {
 			return
 		}
 		res.Nodes++
-		if res.Nodes%64 == 0 && opts.expired() {
-			proven, stopped = false, true
-			return
+		if res.Nodes&pollMask == 0 {
+			if s := checkCtx(ctx); s != stopNone {
+				stopped = s
+				return
+			}
 		}
 		if opts.MaxNodes > 0 && res.Nodes > opts.MaxNodes {
-			proven, stopped = false, true
+			stopped = stopBudget
 			return
 		}
 		if unc.Empty() {
@@ -244,7 +271,13 @@ func SetCover(sets []*bitset.Set, universe *bitset.Set, opts Options) (CoverResu
 	}
 	sort.Ints(sel)
 	res.Selected = sel
-	res.Optimal = proven
+	res.Optimal = stopped == stopNone
+	if !res.Optimal {
+		res.Degradation = fmerr.DegradeIncumbent
+	}
+	if stopped == stopCanceled {
+		return res, fmerr.Wrap(fmerr.StageSolve, "setcover", ctx.Err())
+	}
 	return res, nil
 }
 
@@ -293,7 +326,8 @@ func GreedyPartialCover(sets []*bitset.Set, universe *bitset.Set, quota int) ([]
 			}
 		}
 		if best < 0 {
-			return nil, fmt.Errorf("ilp: quota %d unreachable (covered %d)", quota, covered.IntersectionCount(universe))
+			return nil, fmerr.Errorf(fmerr.StageSolve, "greedy-partial",
+				"quota %d unreachable (covered %d)", quota, covered.IntersectionCount(universe))
 		}
 		out = append(out, best)
 		covered.Or(sets[best])
@@ -304,8 +338,10 @@ func GreedyPartialCover(sets []*bitset.Set, universe *bitset.Set, quota int) ([]
 
 // PartialCover finds a minimum number of sets covering at least quota
 // elements of the universe (the Table III "cov ≥ x%" selection). Solved by
-// include/exclude branch-and-bound with a sum-of-largest-sets bound.
-func PartialCover(sets []*bitset.Set, universe *bitset.Set, quota int, opts Options) (CoverResult, error) {
+// include/exclude branch-and-bound with a sum-of-largest-sets bound. The
+// context contract matches SetCover: deadline = soft budget, cancellation
+// = incumbent plus error.
+func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, quota int, opts Options) (CoverResult, error) {
 	res := CoverResult{}
 	if quota <= 0 {
 		res.Optimal = true
@@ -315,9 +351,17 @@ func PartialCover(sets []*bitset.Set, universe *bitset.Set, quota int, opts Opti
 	if err != nil {
 		return CoverResult{}, err
 	}
+	// Entry check: see SetCover.
+	if s := checkCtx(ctx); s != stopNone {
+		res.Selected = incumbent
+		res.Degradation = fmerr.DegradeIncumbent
+		if s == stopCanceled {
+			return res, fmerr.Wrap(fmerr.StageSolve, "partialcover", ctx.Err())
+		}
+		return res, nil
+	}
 	bestLen := len(incumbent)
 	bestSel := append([]int(nil), incumbent...)
-	proven := true
 
 	// Restrict sets to the universe once.
 	sub := make([]*bitset.Set, len(sets))
@@ -335,19 +379,21 @@ func PartialCover(sets []*bitset.Set, universe *bitset.Set, quota int, opts Opti
 
 	cur := make([]int, 0, bestLen)
 	covered := bitset.New(universe.Len())
-	stopped := false
+	stopped := stopNone
 	var dfs func(pos, coveredCnt int)
 	dfs = func(pos, coveredCnt int) {
-		if stopped {
+		if stopped != stopNone {
 			return
 		}
 		res.Nodes++
-		if res.Nodes%64 == 0 && opts.expired() {
-			proven, stopped = false, true
-			return
+		if res.Nodes&pollMask == 0 {
+			if s := checkCtx(ctx); s != stopNone {
+				stopped = s
+				return
+			}
 		}
 		if opts.MaxNodes > 0 && res.Nodes > opts.MaxNodes {
-			proven, stopped = false, true
+			stopped = stopBudget
 			return
 		}
 		if coveredCnt >= quota {
@@ -395,6 +441,12 @@ func PartialCover(sets []*bitset.Set, universe *bitset.Set, quota int, opts Opti
 
 	sort.Ints(bestSel)
 	res.Selected = bestSel
-	res.Optimal = proven
+	res.Optimal = stopped == stopNone
+	if !res.Optimal {
+		res.Degradation = fmerr.DegradeIncumbent
+	}
+	if stopped == stopCanceled {
+		return res, fmerr.Wrap(fmerr.StageSolve, "partialcover", ctx.Err())
+	}
 	return res, nil
 }

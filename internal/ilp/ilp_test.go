@@ -1,12 +1,15 @@
 package ilp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"time"
 
 	"fastmon/internal/bitset"
+	"fastmon/internal/fmerr"
 )
 
 func mkset(n int, members ...int) *bitset.Set {
@@ -104,8 +107,11 @@ func TestSolveGenericOddCycle(t *testing.T) {
 	m.AddAtLeastOne([]int{0, 1})
 	m.AddAtLeastOne([]int{1, 2})
 	m.AddAtLeastOne([]int{0, 2})
-	sol := Solve(m, Options{})
-	if !sol.Found || !sol.Optimal {
+	sol, err := Solve(context.Background(), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Found || !sol.Optimal || sol.Degradation != fmerr.DegradeNone {
 		t.Fatalf("sol = %+v", sol)
 	}
 	if sol.Value != 2 {
@@ -124,7 +130,10 @@ func TestSolveGenericWithLEConstraint(t *testing.T) {
 	m.Add([]Term{{2, 1}, {0, -1}}, LE, 0) // y0 ≤ x0
 	m.Add([]Term{{3, 1}, {1, -1}}, LE, 0) // y1 ≤ x1
 	m.Add([]Term{{2, 1}, {3, 1}}, GE, 1)  // cover at least one element
-	sol := Solve(m, Options{})
+	sol, err := Solve(context.Background(), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !sol.Found || sol.Value != 1 {
 		t.Fatalf("sol = %+v", sol)
 	}
@@ -169,7 +178,7 @@ func TestSetCoverMatchesBruteForce(t *testing.T) {
 		if !Coverable(sets, universe) {
 			continue
 		}
-		res, err := SetCover(sets, universe, Options{})
+		res, err := SetCover(context.Background(), sets, universe, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,12 +198,19 @@ func TestSetCoverMatchesBruteForce(t *testing.T) {
 			t.Fatalf("trial %d: selection does not cover", trial)
 		}
 		// Greedy is never better than the optimum.
-		if g := GreedyCover(sets, universe); len(g) < want {
+		g, err := GreedyCover(sets, universe)
+		if err != nil {
+			t.Fatalf("trial %d: greedy failed on coverable instance: %v", trial, err)
+		}
+		if len(g) < want {
 			t.Fatalf("trial %d: greedy beat the optimum?!", trial)
 		}
 		// Cross-check with the generic ILP solver on the paper's model.
 		model := CoverModel(sets, universe)
-		sol := Solve(model, Options{})
+		sol, err := Solve(context.Background(), model, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !sol.Found || int(sol.Value+0.5) != want {
 			t.Fatalf("trial %d: generic ILP got %f, want %d", trial, sol.Value, want)
 		}
@@ -203,14 +219,14 @@ func TestSetCoverMatchesBruteForce(t *testing.T) {
 
 func TestSetCoverUncoverable(t *testing.T) {
 	sets := []*bitset.Set{mkset(3, 0), mkset(3, 1)}
-	if _, err := SetCover(sets, full(3), Options{}); err == nil {
+	if _, err := SetCover(context.Background(), sets, full(3), Options{}); err == nil {
 		t.Fatal("expected error for uncoverable universe")
 	}
 }
 
 func TestSetCoverEmptyUniverse(t *testing.T) {
 	sets := []*bitset.Set{mkset(3, 0)}
-	res, err := SetCover(sets, bitset.New(3), Options{})
+	res, err := SetCover(context.Background(), sets, bitset.New(3), Options{})
 	if err != nil || len(res.Selected) != 0 || !res.Optimal {
 		t.Fatalf("res=%+v err=%v", res, err)
 	}
@@ -235,7 +251,9 @@ func TestSetCoverDeadline(t *testing.T) {
 	for _, s := range sets {
 		universe.Or(s)
 	}
-	res, err := SetCover(sets, universe, Options{Deadline: time.Now().Add(-time.Second)})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := SetCover(ctx, sets, universe, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,6 +263,86 @@ func TestSetCoverDeadline(t *testing.T) {
 	}
 	if !u.Empty() {
 		t.Fatal("deadline incumbent does not cover")
+	}
+	if res.Optimal || res.Degradation != fmerr.DegradeIncumbent {
+		t.Fatalf("expired deadline must degrade to the incumbent: %+v", res)
+	}
+}
+
+// hardCoverInstance builds a random covering instance large enough that
+// the branch-and-bound search does not finish within the first poll
+// window.
+func hardCoverInstance(seed int64, nElem, nSets int, p float64) ([]*bitset.Set, *bitset.Set) {
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([]*bitset.Set, nSets)
+	for i := range sets {
+		s := bitset.New(nElem)
+		for e := 0; e < nElem; e++ {
+			if rng.Float64() < p {
+				s.Add(e)
+			}
+		}
+		sets[i] = s
+	}
+	universe := bitset.New(nElem)
+	for _, s := range sets {
+		universe.Or(s)
+	}
+	return sets, universe
+}
+
+func TestSetCoverCanceledReturnsIncumbent(t *testing.T) {
+	sets, universe := hardCoverInstance(3, 400, 80, 0.08)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the search: first poll must stop the B&B
+	start := time.Now()
+	res, err := SetCover(ctx, sets, universe, Options{})
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled solve took %v", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if !fmerr.IsCanceled(err) || fmerr.StageOf(err) != fmerr.StageSolve {
+		t.Fatalf("cancellation not stage-attributed: %v", err)
+	}
+	// The greedy-seeded incumbent must still be a valid cover.
+	u := universe.Clone()
+	for _, j := range res.Selected {
+		u.AndNot(sets[j])
+	}
+	if !u.Empty() {
+		t.Fatal("cancelled solve returned an invalid incumbent")
+	}
+	if res.Optimal || res.Degradation != fmerr.DegradeIncumbent {
+		t.Fatalf("cancelled solve must degrade: %+v", res)
+	}
+}
+
+func TestSetCoverAsyncCancelPromptReturn(t *testing.T) {
+	sets, universe := hardCoverInstance(7, 900, 160, 0.05)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := SetCover(ctx, sets, universe, Options{})
+	elapsed := time.Since(start)
+	// Either the solve finished before the cancel (fine) or it was cut
+	// mid-B&B; in both cases it must return promptly with a valid cover.
+	if elapsed > 10*time.Second {
+		t.Fatalf("solve ignored cancellation for %v", elapsed)
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	u := universe.Clone()
+	for _, j := range res.Selected {
+		u.AndNot(sets[j])
+	}
+	if !u.Empty() {
+		t.Fatal("result is not a cover")
 	}
 }
 
@@ -293,7 +391,7 @@ func TestPartialCoverMatchesBruteForce(t *testing.T) {
 			continue
 		}
 		quota := 1 + rng.Intn(maxCov)
-		res, err := PartialCover(sets, universe, quota, Options{})
+		res, err := PartialCover(context.Background(), sets, universe, quota, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -313,10 +411,10 @@ func TestPartialCoverMatchesBruteForce(t *testing.T) {
 
 func TestPartialCoverQuotaUnreachable(t *testing.T) {
 	sets := []*bitset.Set{mkset(4, 0, 1)}
-	if _, err := PartialCover(sets, full(4), 3, Options{}); err == nil {
+	if _, err := PartialCover(context.Background(), sets, full(4), 3, Options{}); err == nil {
 		t.Fatal("expected unreachable-quota error")
 	}
-	res, err := PartialCover(sets, full(4), 0, Options{})
+	res, err := PartialCover(context.Background(), sets, full(4), 0, Options{})
 	if err != nil || len(res.Selected) != 0 {
 		t.Fatalf("quota 0: %+v %v", res, err)
 	}
@@ -344,13 +442,17 @@ func TestModelValidateAndFeasible(t *testing.T) {
 	}
 }
 
-func TestGreedyCoverPanicsUncoverable(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	GreedyCover([]*bitset.Set{mkset(2, 0)}, full(2))
+func TestGreedyCoverUncoverableError(t *testing.T) {
+	sel, err := GreedyCover([]*bitset.Set{mkset(2, 0)}, full(2))
+	if err == nil {
+		t.Fatal("expected error for uncoverable universe")
+	}
+	if sel != nil {
+		t.Fatalf("selection returned alongside error: %v", sel)
+	}
+	if fmerr.StageOf(err) != fmerr.StageSolve {
+		t.Fatalf("error not stage-attributed: %v", err)
+	}
 }
 
 func TestSolveLPTooLargeFallsBackToDFS(t *testing.T) {
@@ -368,9 +470,15 @@ func TestSolveLPTooLargeFallsBackToDFS(t *testing.T) {
 	}
 	// The 1-first DFS finds the all-ones optimum immediately; cap the
 	// exhaustive 0-branch exploration (2^20 leaves) with a node budget.
-	sol := Solve(m, Options{MaxNodes: 50000})
+	sol, err := Solve(context.Background(), m, Options{MaxNodes: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !sol.Found || sol.Value != float64(n) {
 		t.Fatalf("DFS fallback sol = %+v", sol)
+	}
+	if sol.Degradation != fmerr.DegradeIncumbent {
+		t.Fatalf("node-capped solve must report the incumbent rung: %+v", sol)
 	}
 	if !m.Feasible(sol.X) {
 		t.Fatal("DFS solution infeasible")
@@ -382,7 +490,10 @@ func TestSolveMaxNodesIncumbent(t *testing.T) {
 	m.AddAtLeastOne([]int{0, 1})
 	m.AddAtLeastOne([]int{2, 3})
 	m.AddAtLeastOne([]int{4, 5})
-	sol := Solve(m, Options{})
+	sol, err := Solve(context.Background(), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !sol.Found || sol.Value != 3 || !sol.Optimal {
 		t.Fatalf("sol = %+v", sol)
 	}
@@ -406,7 +517,9 @@ func TestPartialCoverDeadline(t *testing.T) {
 		universe.Or(s)
 	}
 	quota := universe.Count() * 9 / 10
-	res, err := PartialCover(sets, universe, quota, Options{Deadline: time.Now().Add(-time.Second)})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := PartialCover(ctx, sets, universe, quota, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +530,28 @@ func TestPartialCoverDeadline(t *testing.T) {
 	if cov.IntersectionCount(universe) < quota {
 		t.Fatal("deadline incumbent misses quota")
 	}
-	if res.Optimal {
-		t.Fatal("expired deadline must not claim optimality")
+	if res.Optimal || res.Degradation != fmerr.DegradeIncumbent {
+		t.Fatalf("expired deadline must not claim optimality: %+v", res)
+	}
+}
+
+func TestPartialCoverCanceledReturnsIncumbent(t *testing.T) {
+	sets, universe := hardCoverInstance(9, 300, 60, 0.1)
+	quota := universe.Count() * 9 / 10
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := PartialCover(ctx, sets, universe, quota, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	cov := bitset.New(universe.Len())
+	for _, j := range res.Selected {
+		cov.Or(sets[j])
+	}
+	if cov.IntersectionCount(universe) < quota {
+		t.Fatal("cancelled solve returned an incumbent missing the quota")
+	}
+	if res.Optimal || res.Degradation != fmerr.DegradeIncumbent {
+		t.Fatalf("cancelled solve must degrade: %+v", res)
 	}
 }

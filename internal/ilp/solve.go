@@ -1,22 +1,49 @@
 package ilp
 
 import (
+	"context"
 	"math"
-	"time"
+
+	"fastmon/internal/fmerr"
 )
 
-// Options controls the solvers.
+// Options controls the solvers. The solver time budget is carried by the
+// context: pass a context with a deadline to mirror the paper's 1-hour
+// solver timeout. An expired deadline aborts the search and returns the
+// best incumbent found so far (Optimal=false, Degradation=incumbent);
+// outright cancellation additionally returns the context error so callers
+// can distinguish "budget spent, result degraded" from "stop everything".
 type Options struct {
-	// Deadline aborts the search and returns the best incumbent found so
-	// far (Optimal=false), mirroring the paper's 1-hour solver timeout.
-	// The zero value means no deadline.
-	Deadline time.Time
 	// MaxNodes bounds the branch-and-bound tree (0 = unlimited).
 	MaxNodes int
 }
 
-func (o Options) expired() bool {
-	return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
+// pollMask controls the cancellation poll granularity: the context is
+// checked every pollMask+1 branch-and-bound nodes, so a cancelled solve
+// returns within a small multiple of one node expansion.
+const pollMask = 63
+
+// stopReason classifies why a search stopped early.
+type stopReason int
+
+const (
+	stopNone     stopReason = iota
+	stopBudget              // deadline expired or node cap hit: degrade, no error
+	stopCanceled            // context canceled: degrade and report the error
+)
+
+// checkCtx maps the context state to a stop reason. An expired deadline is
+// the paper's soft solver timeout (return the incumbent, keep going with
+// the flow); explicit cancellation must surface as an error.
+func checkCtx(ctx context.Context) stopReason {
+	switch ctx.Err() {
+	case nil:
+		return stopNone
+	case context.Canceled:
+		return stopCanceled
+	default: // context.DeadlineExceeded
+		return stopBudget
+	}
 }
 
 // Solution is the result of a solve.
@@ -26,6 +53,9 @@ type Solution struct {
 	Optimal bool // proven optimal
 	Nodes   int  // branch-and-bound nodes expanded
 	Found   bool // a feasible solution exists in X
+	// Degradation reports the result-quality rung: exact when optimality
+	// was proven, incumbent after a budget abort.
+	Degradation fmerr.Degradation
 }
 
 // Solve runs branch-and-bound on a generic 0-1 model. The LP relaxation
@@ -33,9 +63,23 @@ type Solution struct {
 // branching variable; otherwise the search degrades to plain DFS with
 // cost-based pruning. Intended for the moderate-size models the scheduler
 // produces per frequency; the covering fast path lives in SetCover.
-func Solve(m *Model, opts Options) Solution {
+//
+// The context is polled every few nodes: an expired deadline returns the
+// best incumbent with a nil error, cancellation returns the incumbent
+// found so far together with a stage-attributed error wrapping
+// context.Canceled.
+func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 	if err := m.Validate(); err != nil {
-		panic(err)
+		return Solution{Value: math.Inf(1)}, fmerr.Wrap(fmerr.StageSolve, "model", err)
+	}
+	// Entry check: the generic solver has no cheap incumbent to fall back
+	// on, so a spent context yields an empty degraded solution.
+	if s := checkCtx(ctx); s != stopNone {
+		sol := Solution{Value: math.Inf(1), Degradation: fmerr.DegradeIncumbent}
+		if s == stopCanceled {
+			return sol, fmerr.Wrap(fmerr.StageSolve, "solve", ctx.Err())
+		}
+		return sol, nil
 	}
 	n := m.NumVars()
 	sol := Solution{Value: math.Inf(1)}
@@ -44,19 +88,21 @@ func Solve(m *Model, opts Options) Solution {
 		fixed[i] = -1
 	}
 
-	stopped := false
+	stopped := stopNone
 	var rec func(cost float64)
 	rec = func(cost float64) {
-		if stopped {
+		if stopped != stopNone {
 			return
 		}
 		if sol.Nodes++; opts.MaxNodes > 0 && sol.Nodes > opts.MaxNodes {
-			stopped = true
+			stopped = stopBudget
 			return
 		}
-		if sol.Nodes%64 == 0 && opts.expired() {
-			stopped = true
-			return
+		if sol.Nodes&pollMask == 0 {
+			if s := checkCtx(ctx); s != stopNone {
+				stopped = s
+				return
+			}
 		}
 		if cost >= sol.Value {
 			return
@@ -133,11 +179,17 @@ func Solve(m *Model, opts Options) Solution {
 		}
 	}
 	rec(0)
-	sol.Optimal = sol.Found && !stopped
+	sol.Optimal = sol.Found && stopped == stopNone
+	if stopped != stopNone {
+		sol.Degradation = fmerr.DegradeIncumbent
+	}
 	if !sol.Found {
 		sol.Value = math.Inf(1)
 	}
-	return sol
+	if stopped == stopCanceled {
+		return sol, fmerr.Wrap(fmerr.StageSolve, "solve", ctx.Err())
+	}
+	return sol, nil
 }
 
 func firstFree(fixed []int8) int {

@@ -9,6 +9,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"fastmon/internal/bitset"
 	"fastmon/internal/detect"
 	"fastmon/internal/dot"
+	"fastmon/internal/fmerr"
 	"fastmon/internal/ilp"
 	"fastmon/internal/interval"
 	"fastmon/internal/tunit"
@@ -115,6 +117,13 @@ type Schedule struct {
 	// were proven optimal (false after budget fallback or for greedy).
 	FreqOptimal   bool
 	CombosOptimal bool
+	// Degradation is the worst result-quality rung any covering solve of
+	// this schedule settled on: exact when every exact solve proved
+	// optimality, incumbent when a budget abort fell back to the
+	// greedy-seeded incumbent. Greedy and conventional methods report
+	// exact — the heuristic is the requested algorithm there, not a
+	// degradation of it.
+	Degradation fmerr.Degradation
 }
 
 // NumFrequencies returns |F|, the number of selected clock periods.
@@ -132,7 +141,12 @@ func (s *Schedule) Size() int {
 // Build constructs a schedule for the given target-fault detection data.
 // The data slice must contain exactly the target faults (Φ_tar); indices
 // into it identify faults throughout the schedule.
-func Build(data []detect.FaultData, opt Options) (*Schedule, error) {
+//
+// Each exact covering solve runs under a child context bounded by
+// Options.SolverBudget; exceeding the budget degrades that solve to its
+// incumbent (recorded in Schedule.Degradation). Cancelling ctx aborts the
+// whole construction with a stage-attributed error.
+func Build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule, error) {
 	delays := opt.Delays
 	if opt.Method == Conventional {
 		delays = nil
@@ -168,24 +182,34 @@ func Build(data []detect.FaultData, opt Options) (*Schedule, error) {
 	var selected []int
 	switch {
 	case opt.Method == ILP && quota == coverable:
-		res, err := ilp.SetCover(sets, universe, ilp.Options{Deadline: time.Now().Add(opt.budget())})
+		res, err := solveBudgeted(ctx, opt, func(sctx context.Context) (ilp.CoverResult, error) {
+			return ilp.SetCover(sctx, sets, universe, ilp.Options{})
+		})
 		if err != nil {
-			return nil, fmt.Errorf("schedule: frequency selection: %w", err)
+			return nil, fmerr.Wrap(fmerr.StageSchedule, "frequency-selection", err)
 		}
 		selected, s.FreqOptimal = res.Selected, res.Optimal
+		s.Degradation = fmerr.Worse(s.Degradation, res.Degradation)
 	case opt.Method == ILP:
-		res, err := ilp.PartialCover(sets, universe, quota, ilp.Options{Deadline: time.Now().Add(opt.budget())})
+		res, err := solveBudgeted(ctx, opt, func(sctx context.Context) (ilp.CoverResult, error) {
+			return ilp.PartialCover(sctx, sets, universe, quota, ilp.Options{})
+		})
 		if err != nil {
-			return nil, fmt.Errorf("schedule: frequency selection: %w", err)
+			return nil, fmerr.Wrap(fmerr.StageSchedule, "frequency-selection", err)
 		}
 		selected, s.FreqOptimal = res.Selected, res.Optimal
+		s.Degradation = fmerr.Worse(s.Degradation, res.Degradation)
 	case quota == coverable:
-		selected = ilp.GreedyCover(sets, universe)
+		var err error
+		selected, err = ilp.GreedyCover(sets, universe)
+		if err != nil {
+			return nil, fmerr.Wrap(fmerr.StageSchedule, "frequency-selection", err)
+		}
 	default:
 		var err error
 		selected, err = ilp.GreedyPartialCover(sets, universe, quota)
 		if err != nil {
-			return nil, fmt.Errorf("schedule: frequency selection: %w", err)
+			return nil, fmerr.Wrap(fmerr.StageSchedule, "frequency-selection", err)
 		}
 	}
 
@@ -226,7 +250,10 @@ func Build(data []detect.FaultData, opt Options) (*Schedule, error) {
 	// Step 2: per period, minimum pattern-configuration selection.
 	s.CombosOptimal = true
 	for pi := range plans {
-		if err := optimizeCombos(data, &plans[pi], opt, delays, s); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmerr.Wrap(fmerr.StageSchedule, "combo-selection", err)
+		}
+		if err := optimizeCombos(ctx, data, &plans[pi], opt, delays, s); err != nil {
 			return nil, err
 		}
 	}
@@ -235,9 +262,19 @@ func Build(data []detect.FaultData, opt Options) (*Schedule, error) {
 	return s, nil
 }
 
+// solveBudgeted runs one exact covering solve under a child context
+// carrying the per-solve time budget (the paper aborts its ILP after one
+// hour; exceeding the budget falls back to the incumbent).
+func solveBudgeted(ctx context.Context, opt Options,
+	solve func(context.Context) (ilp.CoverResult, error)) (ilp.CoverResult, error) {
+	sctx, cancel := context.WithTimeout(ctx, opt.budget())
+	defer cancel()
+	return solve(sctx)
+}
+
 // optimizeCombos fills plan.Combos with a minimal covering set of
 // (pattern, config) combinations for the faults assigned to the period.
-func optimizeCombos(data []detect.FaultData, plan *PeriodPlan, opt Options,
+func optimizeCombos(ctx context.Context, data []detect.FaultData, plan *PeriodPlan, opt Options,
 	delays []tunit.Time, s *Schedule) error {
 
 	configs := []int{ConfigOff}
@@ -295,16 +332,23 @@ func optimizeCombos(data []detect.FaultData, plan *PeriodPlan, opt Options,
 	}
 	var chosen []int
 	if opt.Method == ILP {
-		res, err := ilp.SetCover(sets, target, ilp.Options{Deadline: time.Now().Add(opt.budget())})
+		res, err := solveBudgeted(ctx, opt, func(sctx context.Context) (ilp.CoverResult, error) {
+			return ilp.SetCover(sctx, sets, target, ilp.Options{})
+		})
 		if err != nil {
-			return fmt.Errorf("schedule: combo selection at %s: %w", plan.Period, err)
+			return fmerr.Wrap(fmerr.StageSchedule, fmt.Sprintf("combo-selection@%s", plan.Period), err)
 		}
 		chosen = res.Selected
 		if !res.Optimal {
 			s.CombosOptimal = false
 		}
+		s.Degradation = fmerr.Worse(s.Degradation, res.Degradation)
 	} else {
-		chosen = ilp.GreedyCover(sets, target)
+		var err error
+		chosen, err = ilp.GreedyCover(sets, target)
+		if err != nil {
+			return fmerr.Wrap(fmerr.StageSchedule, fmt.Sprintf("combo-selection@%s", plan.Period), err)
+		}
 		s.CombosOptimal = false
 	}
 	for _, i := range chosen {

@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -38,7 +39,7 @@ func TestBuildSyntheticMinimalFrequencies(t *testing.T) {
 		interval.FromPoints(600, 700),
 	)
 	opt := Options{Cfg: cfg, Method: ILP}
-	s, err := Build(data, opt)
+	s, err := Build(context.Background(), data, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestBuildSyntheticMinimalFrequencies(t *testing.T) {
 
 func TestBuildEmptyData(t *testing.T) {
 	cfg := detect.Config{Clk: 1000, TMin: 300}
-	s, err := Build(synthetic(cfg, interval.Set{}, interval.Set{}), Options{Cfg: cfg, Method: ILP})
+	s, err := Build(context.Background(), synthetic(cfg, interval.Set{}, interval.Set{}), Options{Cfg: cfg, Method: ILP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestBuildPartialCoverage(t *testing.T) {
 		interval.FromPoints(700, 800),
 	)
 	opt := Options{Cfg: cfg, Method: ILP, Coverage: 0.5}
-	s, err := Build(data, opt)
+	s, err := Build(context.Background(), data, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,9 +111,12 @@ func buildS27(t *testing.T) ([]detect.FaultData, Options) {
 	placement := monitor.Place(r, 1.0, monitor.StandardDelays(clk))
 	e := sim.NewEngine(c, a)
 	faults := fault.Universe(c)
-	pats, _ := atpg.Generate(c, faults, atpg.DefaultConfig(23))
+	pats, _, err := atpg.Generate(context.Background(), c, faults, atpg.DefaultConfig(23))
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := detect.Config{Clk: clk, TMin: clk / 3, Delta: lib.FaultSize(), Glitch: lib.MinPulse()}
-	data, err := detect.Run(e, placement, faults, pats, cfg)
+	data, err := detect.Run(context.Background(), e, placement, faults, pats, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +138,7 @@ func TestBuildS27AllMethods(t *testing.T) {
 
 	optILP := opt
 	optILP.Method = ILP
-	sILP, err := Build(data, optILP)
+	sILP, err := Build(context.Background(), data, optILP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +148,7 @@ func TestBuildS27AllMethods(t *testing.T) {
 
 	optHeur := opt
 	optHeur.Method = Heuristic
-	sHeur, err := Build(data, optHeur)
+	sHeur, err := Build(context.Background(), data, optHeur)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +158,7 @@ func TestBuildS27AllMethods(t *testing.T) {
 
 	optConv := opt
 	optConv.Method = Conventional
-	sConv, err := Build(data, optConv)
+	sConv, err := Build(context.Background(), data, optConv)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +187,7 @@ func TestBuildS27CoverageLadder(t *testing.T) {
 	for _, cov := range []float64{1.0, 0.99, 0.95, 0.90} {
 		o := opt
 		o.Coverage = cov
-		s, err := Build(data, o)
+		s, err := Build(context.Background(), data, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +213,7 @@ func TestBuildS27CoverageLadder(t *testing.T) {
 func TestSolverBudgetFallback(t *testing.T) {
 	data, opt := buildS27(t)
 	opt.SolverBudget = time.Nanosecond // force immediate fallback
-	s, err := Build(data, opt)
+	s, err := Build(context.Background(), data, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"fastmon/internal/cell"
 	"fastmon/internal/circuit"
+	"fastmon/internal/fmerr"
 	"fastmon/internal/interval"
 	"fastmon/internal/tunit"
 )
@@ -80,6 +82,13 @@ func (e *Engine) launchTime(id int) tunit.Time {
 // Baseline computes the fault-free waveform of every gate for the pattern
 // pair. The returned slice is indexed by gate ID.
 func (e *Engine) Baseline(p Pattern) ([]Waveform, error) {
+	return e.BaselineContext(context.Background(), p)
+}
+
+// BaselineContext is Baseline with cancellation: the context is polled
+// every few gates of the topological evaluation so a cancelled caller
+// stops mid-circuit instead of after it.
+func (e *Engine) BaselineContext(ctx context.Context, p Pattern) ([]Waveform, error) {
 	src := e.C.Sources()
 	if len(p.V1) != len(src) || len(p.V2) != len(src) {
 		return nil, fmt.Errorf("sim: pattern has %d/%d values for %d sources", len(p.V1), len(p.V2), len(src))
@@ -89,7 +98,12 @@ func (e *Engine) Baseline(p Pattern) ([]Waveform, error) {
 		wf[id] = Step(p.V1[i], p.V2[i], e.launchTime(id))
 	}
 	ins := make([]Waveform, 0, 8)
-	for _, id := range e.C.Topo() {
+	for n, id := range e.C.Topo() {
+		if n&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmerr.Wrap(fmerr.StageSim, "baseline", err)
+			}
+		}
 		g := &e.C.Gates[id]
 		ins = ins[:0]
 		for _, f := range g.Fanin {
