@@ -6,8 +6,8 @@ package fastmon
 // completes on a laptop. Run `cmd/tablegen` for the full suite output.
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -104,7 +104,7 @@ func BenchmarkTableIII(b *testing.B) {
 	r := benchRun(b, "s9234")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		row, err := exper.TableIII(context.Background(), r)
+		row, _, err := exper.TableIII(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
@@ -35,7 +36,12 @@ func main() {
 		budget    = flag.Duration("budget", 10*time.Second, "time budget per exact covering solve")
 		seed      = flag.Int64("seed", 1, "ATPG seed")
 		patsOut   = flag.String("write-patterns", "", "write the generated pattern set to this file")
-		verbose   = flag.Bool("v", false, "print per-period schedule details")
+		verbose   = flag.Bool("v", false, "print per-period schedule details and stage spans")
+
+		jsonLogs   = flag.Bool("json-logs", false, "emit stage telemetry as JSON lines on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 	// Ctrl-C cancels the flow: the running stage returns promptly with a
@@ -43,10 +49,38 @@ func main() {
 	// run hanging.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *benchPath, *vlogPath, *topName, *sdfPath, *genName, *scale, *method, *coverage, *sample, *budget, *seed, *patsOut, *verbose); err != nil {
+
+	stopProf, err := fastmon.StartProfiles(*cpuprofile, *memprofile, *traceOut)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fastmon:", err)
 		os.Exit(1)
 	}
+
+	// Telemetry: stage spans and counters are always collected (the final
+	// summary prints solver effort); log output needs -v or -json-logs.
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	var logger *slog.Logger
+	if *jsonLogs {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	} else if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	}
+	ctx = fastmon.WithObserver(ctx, fastmon.NewObserver(logger))
+
+	code := 0
+	if err := run(ctx, *benchPath, *vlogPath, *topName, *sdfPath, *genName, *scale, *method, *coverage, *sample, *budget, *seed, *patsOut, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "fastmon:", err)
+		code = 1
+	}
+	// Flush profiles explicitly: os.Exit would skip a deferred stop.
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "fastmon:", err)
+		code = 1
+	}
+	os.Exit(code)
 }
 
 func run(ctx context.Context, benchPath, vlogPath, topName, sdfPath, genName string, scale float64, methodName string,
@@ -163,6 +197,10 @@ func run(ctx context.Context, benchPath, vlogPath, topName, sdfPath, genName str
 	}
 	fmt.Printf("schedule  method=%v coverage=%d/%d |F|=%d |S|=%d (freq-optimal=%v)\n",
 		s.Method, s.Covered, s.Coverable, s.NumFrequencies(), s.Size(), s.FreqOptimal)
+	if s.Solver.Solves > 0 {
+		fmt.Printf("solver    %d exact solves, %d nodes, %d incumbents (max gap %.2f)\n",
+			s.Solver.Solves, s.Solver.Nodes, s.Solver.Incumbents, s.Solver.MaxGap)
+	}
 	if verbose {
 		for _, p := range s.Periods {
 			fmt.Printf("  period %v (%v): %d faults, %d pattern-configs\n",

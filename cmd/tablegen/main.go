@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -30,6 +31,7 @@ import (
 
 	"fastmon/internal/aging"
 	"fastmon/internal/exper"
+	"fastmon/internal/obs"
 	"fastmon/internal/schedule"
 )
 
@@ -42,6 +44,10 @@ type options struct {
 	steps      int
 	ckptDir    string
 	resume     bool
+
+	verbose  bool   // -v: per-stage span logging
+	jsonLogs bool   // -json-logs: structured JSON log lines
+	manifest string // -manifest: run.json output path ("" disables)
 }
 
 func main() {
@@ -61,6 +67,13 @@ func main() {
 		steps    = flag.Int("steps", 10, "sweep points for -fig3")
 		ckpt     = flag.String("checkpoint", "", "directory for per-circuit result checkpoints")
 		resume   = flag.Bool("resume", false, "reuse completed circuits from -checkpoint DIR")
+
+		verbose    = flag.Bool("v", false, "log per-stage spans and telemetry to stderr")
+		jsonLogs   = flag.Bool("json-logs", false, "emit logs as JSON lines (machine-readable)")
+		manifest   = flag.String("manifest", "run.json", "write the run manifest here (empty disables)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 	if !*t1 && !*t2 && !*t3 && !*fig3 && !*ablate && !*robust && !*lifetime {
@@ -81,6 +94,13 @@ func main() {
 		t1: *t1, t2: *t2, t3: *t3, fig3: *fig3,
 		ablate: *ablate, robust: *robust, lifetime: *lifetime,
 		steps: *steps, ckptDir: *ckpt, resume: *resume,
+		verbose: *verbose, jsonLogs: *jsonLogs, manifest: *manifest,
+	}
+
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(1)
 	}
 
 	// Two-stage interrupt handling: the first SIGINT requests a graceful
@@ -101,17 +121,43 @@ func main() {
 		cancel()
 	}()
 
+	code := 0
 	if err := run(ctx, os.Stdout, os.Stderr, cfg, opts, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
-		os.Exit(1)
+		code = 1
 	}
+	// Flush profiles explicitly: os.Exit would skip a deferred stop.
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		code = 1
+	}
+	os.Exit(code)
 }
 
 func run(ctx context.Context, out, log io.Writer, cfg exper.SuiteConfig, opts options, stop <-chan struct{}) error {
 	start := time.Now()
+	cfg = cfg.Defaults()
 	req := exper.TableRequest{T1: opts.t1, T2: opts.t2, T3: opts.t3}
 	if opts.fig3 {
 		req.Fig3Steps = opts.steps
+	}
+
+	// Telemetry: spans and metrics are always collected (the manifest
+	// needs them); log output depends on -v / -json-logs.
+	o := obs.New(newLogger(log, opts))
+	ctx = obs.With(ctx, o)
+	var results []*exper.CircuitResult
+	if opts.manifest != "" {
+		man := obs.NewManifest("tablegen", cfg)
+		defer func() {
+			man.Circuits = results
+			man.Finish(o)
+			if err := man.WriteFile(opts.manifest); err != nil {
+				fmt.Fprintf(log, "# manifest: %v\n", err)
+				return
+			}
+			fmt.Fprintf(log, "# wrote manifest %s\n", opts.manifest)
+		}()
 	}
 
 	dir := ""
@@ -126,19 +172,25 @@ func run(ctx context.Context, out, log io.Writer, cfg exper.SuiteConfig, opts op
 		}
 	}
 
-	progress := func(res *exper.CircuitResult, cached bool) {
-		src := "computed"
-		if cached {
-			src = "resumed from checkpoint"
+	progress := func(ev exper.SuiteEvent) {
+		pos := fmt.Sprintf("[%d/%d]", ev.Index+1, ev.Total)
+		switch {
+		case ev.Res == nil:
+			fmt.Fprintf(log, "# %s %-8s computing...\n", pos, ev.Spec.Name)
+		case ev.Cached:
+			fmt.Fprintf(log, "# %s %-8s resumed from checkpoint (degradation: %s)\n",
+				pos, ev.Res.Name, ev.Res.Degradation)
+		default:
+			fmt.Fprintf(log, "# %s %-8s computed in %v (degradation: %s)\n",
+				pos, ev.Res.Name, ev.Res.Elapsed.Round(time.Millisecond), ev.Res.Degradation)
 		}
-		fmt.Fprintf(log, "# %-8s %s (degradation: %s)\n", res.Name, src, res.Degradation)
 	}
-	results, runErr := exper.RunSuiteCheckpointed(ctx, cfg, req, dir, stop, progress)
+	var runErr error
+	results, runErr = exper.RunSuiteCheckpointed(ctx, cfg, req, dir, stop, progress)
 	if runErr != nil && len(results) == 0 {
 		return runErr
 	}
 
-	cfg = cfg.Defaults()
 	fmt.Fprintf(out, "# fastmon tablegen — scale %.3f, %d circuits, fault budget %d\n",
 		cfg.Scale, len(results), cfg.MaxFaults)
 	fmt.Fprintf(out, "# shapes are comparable to the paper; absolute values scale with circuit size\n\n")
@@ -260,6 +312,21 @@ func runRobustness(ctx context.Context, out io.Writer, r *exper.Run) error {
 	exper.WriteRobustness(out, pts)
 	fmt.Fprintln(out)
 	return nil
+}
+
+// newLogger maps the logging flags to a slog logger: quiet by default
+// (warnings only), per-stage span lines with -v, JSON lines with
+// -json-logs (combinable with -v for debug-level JSON).
+func newLogger(w io.Writer, opts options) *slog.Logger {
+	level := slog.LevelWarn
+	if opts.verbose {
+		level = slog.LevelDebug
+	}
+	ho := &slog.HandlerOptions{Level: level}
+	if opts.jsonLogs {
+		return slog.New(slog.NewJSONHandler(w, ho))
+	}
+	return slog.New(slog.NewTextHandler(w, ho))
 }
 
 // clearCheckpoints removes stale .json entries so a fresh run starts from

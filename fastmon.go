@@ -27,6 +27,7 @@ package fastmon
 import (
 	"context"
 	"io"
+	"log/slog"
 
 	"fastmon/internal/aging"
 	"fastmon/internal/atpg"
@@ -40,6 +41,7 @@ import (
 	"fastmon/internal/fault"
 	"fastmon/internal/interval"
 	"fastmon/internal/monitor"
+	"fastmon/internal/obs"
 	"fastmon/internal/patio"
 	"fastmon/internal/scan"
 	"fastmon/internal/schedule"
@@ -101,6 +103,15 @@ type (
 	SuiteConfig = exper.SuiteConfig
 	// ExperimentRun is one per-circuit harness result.
 	ExperimentRun = exper.Run
+	// Observer is the pipeline observability hub: structured spans, metric
+	// counters and a run manifest. Attach one to a context with
+	// WithObserver and every stage of Run records through it; without one,
+	// all instrumentation is a no-op.
+	Observer = obs.Observer
+	// RunManifest is the machine-readable record of a run ("run.json").
+	RunManifest = obs.Manifest
+	// SolverStats aggregates exact-solver effort behind one schedule.
+	SolverStats = schedule.SolverStats
 )
 
 // Scheduling methods.
@@ -160,6 +171,31 @@ func RunAnnotated(ctx context.Context, c *Circuit, lib *Library, a *Annotation, 
 // ValidateSchedule checks that a schedule covers every fault it claims.
 func ValidateSchedule(data []FaultData, s *Schedule, opt ScheduleOptions) error {
 	return schedule.Validate(data, s, opt)
+}
+
+// NewObserver creates an observability hub logging through the given slog
+// logger (nil collects spans and metrics but discards log output).
+func NewObserver(logger *Logger) *Observer { return obs.New(logger) }
+
+// Logger is the structured logger type observers log through (log/slog).
+type Logger = slog.Logger
+
+// WithObserver attaches an observer to the context; every pipeline stage
+// run under the returned context records spans and metrics through it.
+func WithObserver(ctx context.Context, o *Observer) context.Context { return obs.With(ctx, o) }
+
+// ObserverFrom returns the observer attached to the context, or nil (all
+// observer methods are no-ops on nil).
+func ObserverFrom(ctx context.Context) *Observer { return obs.From(ctx) }
+
+// NewRunManifest seeds a run manifest with build provenance and the
+// fingerprint of the given configuration.
+func NewRunManifest(tool string, config any) *RunManifest { return obs.NewManifest(tool, config) }
+
+// StartProfiles enables CPU/heap/trace profiling for any of the given
+// non-empty paths; the returned stop function flushes and closes them.
+func StartProfiles(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	return obs.StartProfiles(cpuPath, memPath, tracePath)
 }
 
 // FaultUniverse enumerates two small delay faults at every input and

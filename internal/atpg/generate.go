@@ -2,6 +2,7 @@ package atpg
 
 import (
 	"context"
+	"log/slog"
 	"math/bits"
 	"math/rand"
 
@@ -9,6 +10,7 @@ import (
 	"fastmon/internal/fault"
 	"fastmon/internal/fmerr"
 	"fastmon/internal/logic"
+	"fastmon/internal/obs"
 	"fastmon/internal/sim"
 )
 
@@ -40,6 +42,7 @@ type Stats struct {
 	RandomDetected int // faults covered by the random phase
 	RawPatterns    int // patterns before compaction
 	Patterns       int // final pattern count
+	Backtracks     int // PODEM + justification decision flips (effort)
 }
 
 // Coverage returns detected / testable (the ATPG "test coverage" metric).
@@ -65,6 +68,21 @@ func Generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	nsrc := len(c.Sources())
 	st := Stats{Faults: len(faults)}
+	_, span := obs.StartSpan(ctx, "atpg")
+	defer func() {
+		o := obs.From(ctx)
+		o.Counter("atpg.patterns").Add(int64(st.Patterns))
+		o.Counter("atpg.raw_patterns").Add(int64(st.RawPatterns))
+		o.Counter("atpg.backtracks").Add(int64(st.Backtracks))
+		o.Counter("atpg.aborted").Add(int64(st.Aborted))
+		o.Counter("atpg.untestable").Add(int64(st.Untestable))
+		o.Counter("atpg.random_detected").Add(int64(st.RandomDetected))
+		span.End(
+			slog.Int("faults", st.Faults),
+			slog.Int("patterns", st.Patterns),
+			slog.Int("backtracks", st.Backtracks),
+			slog.Int("aborted", st.Aborted))
+	}()
 
 	detected := make([]bool, len(faults))
 	var patterns []sim.Pattern
@@ -148,7 +166,9 @@ func Generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg
 			stuck = v1
 		}
 		m := newMachineWith(an, f, stuck)
-		switch m.run(cfg.MaxBacktracks) {
+		pres := m.run(cfg.MaxBacktracks)
+		st.Backtracks += m.backtracks
+		switch pres {
 		case untestable:
 			st.Untestable++
 			continue
@@ -157,7 +177,8 @@ func Generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg
 			continue
 		}
 		v2 := append([]value(nil), m.assign...)
-		v1assign, jres := justifyWith(an, m.siteNet(), stuck, cfg.MaxBacktracks)
+		v1assign, jbt, jres := justifyWith(an, m.siteNet(), stuck, cfg.MaxBacktracks)
+		st.Backtracks += jbt
 		switch jres {
 		case untestable:
 			// The site cannot take the pre-transition value at all: the

@@ -143,6 +143,9 @@ type machine struct {
 	*analysis
 	flt   fault.Fault
 	stuck value // forced value at the site in the faulty machine
+	// backtracks counts decision flips of the last run/justification —
+	// the ATPG effort metric surfaced through Stats.Backtracks.
+	backtracks int
 	// assign holds the current source decisions (indexed by source order).
 	assign []value
 	good   []value // per gate

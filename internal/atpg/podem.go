@@ -94,7 +94,7 @@ func (m *machine) backtrace(net int, val value) (srcIdx int, v value, ok bool) {
 // (with X for don't-cares) is left in m.assign.
 func (m *machine) run(maxBacktracks int) podemResult {
 	var stack []decision
-	backtracks := 0
+	m.backtracks = 0
 	m.imply() // initial all-X evaluation; decisions update incrementally
 	for {
 		if m.detected() {
@@ -134,8 +134,8 @@ func (m *machine) run(maxBacktracks int) podemResult {
 				top.val = top.val.not()
 				m.assign[top.src] = top.val
 				m.implySrc(top.src)
-				backtracks++
-				if backtracks > maxBacktracks {
+				m.backtracks++
+				if m.backtracks > maxBacktracks {
 					return aborted
 				}
 				break
@@ -152,11 +152,13 @@ func (m *machine) run(maxBacktracks int) podemResult {
 // same decision engine with a trivial fault so that the good machine is
 // authoritative.
 func justify(c *circuit.Circuit, net int, target value, maxBacktracks int) ([]value, podemResult) {
-	return justifyWith(newAnalysis(c), net, target, maxBacktracks)
+	assign, _, res := justifyWith(newAnalysis(c), net, target, maxBacktracks)
+	return assign, res
 }
 
-// justifyWith is justify reusing a shared circuit analysis.
-func justifyWith(an *analysis, net int, target value, maxBacktracks int) ([]value, podemResult) {
+// justifyWith is justify reusing a shared circuit analysis. It also
+// reports the number of backtracks spent, for the ATPG effort metrics.
+func justifyWith(an *analysis, net int, target value, maxBacktracks int) ([]value, int, podemResult) {
 	// A justification is a PODEM run whose success condition is simply
 	// "net == target": emulate with a dedicated loop.
 	m := newMachineWith(an, fault.Fault{Gate: net, Pin: -1}, target.not())
@@ -165,7 +167,7 @@ func justifyWith(an *analysis, net int, target value, maxBacktracks int) ([]valu
 	m.imply()
 	for {
 		if m.good[net] == target {
-			return m.assign, testFound
+			return m.assign, backtracks, testFound
 		}
 		fail := m.good[net] != vX // defined but wrong
 		if !fail {
@@ -180,7 +182,7 @@ func justifyWith(an *analysis, net int, target value, maxBacktracks int) ([]valu
 		_ = fail
 		for {
 			if len(stack) == 0 {
-				return nil, untestable
+				return nil, backtracks, untestable
 			}
 			top := &stack[len(stack)-1]
 			if !top.flipped {
@@ -190,7 +192,7 @@ func justifyWith(an *analysis, net int, target value, maxBacktracks int) ([]valu
 				m.implySrc(top.src)
 				backtracks++
 				if backtracks > maxBacktracks {
-					return nil, aborted
+					return nil, backtracks, aborted
 				}
 				break
 			}

@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"fastmon/internal/atpg"
@@ -18,6 +19,7 @@ import (
 	"fastmon/internal/fmerr"
 	"fastmon/internal/interval"
 	"fastmon/internal/monitor"
+	"fastmon/internal/obs"
 	"fastmon/internal/schedule"
 	"fastmon/internal/sim"
 	"fastmon/internal/sta"
@@ -124,7 +126,10 @@ func Run(ctx context.Context, c *circuit.Circuit, lib *cell.Library, annot *cell
 	f := &Flow{Config: cfg, Circuit: c, Library: lib, Annot: annot}
 
 	// Step 1: timing analysis, clocks, monitor placement, structural
-	// fault classification.
+	// fault classification. The returned contexts of the stage spans are
+	// discarded on purpose: sta/classify/atpg/detect/extract are siblings,
+	// not nested.
+	_, staSpan := obs.StartSpan(ctx, "sta")
 	f.Timing = sta.Analyze(c, annot)
 	f.Clk = f.Timing.NominalClock(cfg.ClockMargin)
 	f.TMin = f.Clk.Scale(1 / cfg.FMaxFactor)
@@ -134,7 +139,11 @@ func Run(ctx context.Context, c *circuit.Circuit, lib *cell.Library, annot *cell
 		delays[i] = f.Clk.Scale(fr)
 	}
 	f.Placement = monitor.Place(f.Timing, cfg.MonitorFraction, delays)
+	staSpan.End(
+		slog.String("clk", f.Clk.String()),
+		slog.Int("monitors", len(f.Placement.Taps)))
 
+	_, clsSpan := obs.StartSpan(ctx, "classify")
 	f.Universe = fault.Sample(fault.Universe(c), cfg.FaultSampleK)
 	ccfg := fault.ClassifyConfig{
 		Clk: f.Clk, TMin: f.TMin, Delta: f.Delta,
@@ -142,6 +151,9 @@ func Run(ctx context.Context, c *circuit.Circuit, lib *cell.Library, annot *cell
 	}
 	f.Classes = fault.Partition(f.Universe, f.Timing, ccfg)
 	f.HDFs = f.Classes[fault.Target]
+	clsSpan.End(
+		slog.Int("universe", len(f.Universe)),
+		slog.Int("hdf_candidates", len(f.HDFs)))
 
 	// ATPG substrate: compacted transition-fault patterns for the full
 	// (sampled) universe, standing in for the commercial test sets.
@@ -170,6 +182,7 @@ func Run(ctx context.Context, c *circuit.Circuit, lib *cell.Library, annot *cell
 	}
 
 	// Step 5: classification and target-fault extraction.
+	_, extSpan := obs.StartSpan(ctx, "extract")
 	lo, hi := f.DetectCfg.ObservationWindow()
 	for i := range data {
 		fd := &data[i]
@@ -205,6 +218,11 @@ func Run(ctx context.Context, c *circuit.Circuit, lib *cell.Library, annot *cell
 	for i, idx := range f.TargetIdx {
 		f.TargetData[i] = data[idx]
 	}
+	extSpan.End(
+		slog.Int("conv_detected", len(f.ConvDetected)),
+		slog.Int("prop_detected", len(f.PropDetected)),
+		slog.Int("at_speed_monitor", len(f.AtSpeedMonitor)),
+		slog.Int("targets", len(f.TargetIdx)))
 	return f, nil
 }
 

@@ -14,13 +14,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fastmon/internal/fault"
 	"fastmon/internal/fmerr"
 	"fastmon/internal/interval"
 	"fastmon/internal/monitor"
+	"fastmon/internal/obs"
 	"fastmon/internal/sim"
 	"fastmon/internal/tunit"
 )
@@ -159,6 +163,33 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 	}
 	horizon := cfg.Clk + 1
 
+	// Telemetry: per-run atomics (rolled into the shared registry at the
+	// end, so events/sec reflects this run, not the process lifetime).
+	// busyNs accumulates per-pattern worker time; utilization is the
+	// busy fraction of the pool's wall-clock capacity.
+	start := time.Now()
+	_, span := obs.StartSpan(ctx, "detect")
+	var nSims, nDetections, nPanics, busyNs atomic.Int64
+	defer func() {
+		o := obs.From(ctx)
+		wall := time.Since(start)
+		o.Counter("detect.sims").Add(nSims.Load())
+		o.Counter("detect.detections").Add(nDetections.Load())
+		o.Counter("detect.panics_recovered").Add(nPanics.Load())
+		if s := wall.Seconds(); s > 0 {
+			o.Gauge("detect.sims_per_sec").Set(float64(nSims.Load()) / s)
+		}
+		if poolNs := int64(workers) * int64(wall); poolNs > 0 {
+			o.Gauge("detect.worker_utilization").Set(float64(busyNs.Load()) / float64(poolNs))
+		}
+		span.End(
+			slog.Int("faults", len(faults)),
+			slog.Int("patterns", len(patterns)),
+			slog.Int("workers", workers),
+			slog.Int64("sims", nSims.Load()),
+			slog.Int64("detections", nDetections.Load()))
+	}()
+
 	type cell struct {
 		ff, sr interval.Set
 	}
@@ -190,6 +221,7 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 			}
 			defer func() {
 				if r := recover(); r != nil {
+					nPanics.Add(1)
 					item := fmt.Sprintf("pattern %d", curPat)
 					if curFault >= 0 {
 						item = fmt.Sprintf("fault %s under pattern %d",
@@ -201,11 +233,13 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 			local := make(map[int]map[int]cell) // fault -> pattern -> cell
 			for pi := range work {
 				curFault, curPat = -1, pi
+				patStart := time.Now()
 				base, err := e.BaselineContext(wctx, patterns[pi])
 				if err != nil {
 					fail(err)
 					return
 				}
+				sims, hits := 0, 0
 				for fi, f := range faults {
 					if fi&63 == 0 {
 						if err := wctx.Err(); err != nil {
@@ -217,6 +251,7 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 					if testHookPanic != nil {
 						testHookPanic(f, pi)
 					}
+					sims++
 					dets := e.FaultSim(base, f.Injection(cfg.Delta), horizon)
 					if len(dets) == 0 {
 						continue
@@ -241,7 +276,11 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 						local[fi] = m
 					}
 					m[pi] = cell{ff: ff, sr: sr}
+					hits++
 				}
+				nSims.Add(int64(sims))
+				nDetections.Add(int64(hits))
+				busyNs.Add(int64(time.Since(patStart)))
 			}
 			mu.Lock()
 			for fi, m := range local {

@@ -7,8 +7,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"fastmon/internal/fmerr"
+	"fastmon/internal/obs"
+	"fastmon/internal/schedule"
 )
 
 // Checkpointing for multi-circuit harness runs: the full-scale suite takes
@@ -47,6 +50,16 @@ type CircuitResult struct {
 	// Degradation records the worst result-quality rung among the
 	// schedules behind T2/T3 ("exact" or "incumbent").
 	Degradation string `json:"degradation,omitempty"`
+
+	// Elapsed is the circuit's wall-clock compute time; Stages breaks it
+	// down by pipeline stage (build, sta, classify, atpg, detect, extract,
+	// schedule). Both are zero/empty when no observer was attached or when
+	// the entry came from a pre-telemetry checkpoint.
+	Elapsed time.Duration            `json:"elapsed_ns,omitempty"`
+	Stages  map[string]time.Duration `json:"stages_ns,omitempty"`
+	// Solver aggregates the exact-solver effort over every schedule built
+	// for this circuit (T2's ILP column plus all T3 coverage targets).
+	Solver *schedule.SolverStats `json:"solver,omitempty"`
 }
 
 // Satisfies reports whether the checkpointed entry contains every artifact
@@ -155,46 +168,100 @@ func LoadCheckpoints(dir string, cfg SuiteConfig) (entries map[string]*CircuitRe
 }
 
 // ComputeCircuit runs one suite circuit end to end and derives the
-// requested artifacts.
+// requested artifacts. When an observer is attached to ctx the whole
+// computation runs under a span named after the circuit, and the result
+// carries the per-stage wall-clock breakdown extracted from the direct
+// child spans (build, sta, classify, atpg, detect, extract, schedule).
 func ComputeCircuit(ctx context.Context, spec Spec, cfg SuiteConfig, req TableRequest) (*CircuitResult, error) {
 	cfg = cfg.Defaults()
-	r, err := RunCircuit(ctx, spec, cfg)
+	o := obs.From(ctx)
+	mark := o.Mark()
+	start := time.Now()
+	cctx, span := obs.StartSpan(ctx, spec.Name)
+	r, err := RunCircuit(cctx, spec, cfg)
 	if err != nil {
+		span.End()
 		return nil, err
 	}
 	res := &CircuitResult{Name: spec.Name, Scale: cfg.Scale, MaxFaults: cfg.MaxFaults}
 	worst := fmerr.DegradeNone
+	var solver schedule.SolverStats
 	if req.T1 {
 		row := TableI(r)
 		res.T1 = &row
 	}
 	if req.T2 {
-		row, schedules, err := TableII(ctx, r)
+		row, schedules, err := TableII(cctx, r)
 		if err != nil {
+			span.End()
 			return nil, err
 		}
 		res.T2 = &row
 		for _, s := range schedules {
 			worst = fmerr.Worse(worst, s.Degradation)
+			addSolver(&solver, s.Solver)
 		}
 	}
 	if req.T3 {
-		row, err := TableIII(ctx, r)
+		row, t3solver, err := TableIII(cctx, r)
 		if err != nil {
+			span.End()
 			return nil, err
 		}
 		res.T3 = &row
+		addSolver(&solver, t3solver)
 	}
 	if req.Fig3Steps > 0 {
 		res.Fig3 = Fig3(r, req.Fig3Steps)
 	}
 	res.Degradation = worst.String()
+	span.End()
+	res.Elapsed = time.Since(start)
+	if solver.Solves > 0 {
+		res.Solver = &solver
+	}
+	if stages := stageBreakdown(o.SpansSince(mark), spec.Name); len(stages) > 0 {
+		res.Stages = stages
+	}
 	return res, nil
 }
 
-// SuiteProgress is called by RunSuiteCheckpointed after every circuit with
-// the fresh or reloaded result and whether it came from a checkpoint.
-type SuiteProgress func(res *CircuitResult, cached bool)
+// stageBreakdown sums the direct child spans of the circuit span into a
+// per-stage duration map ("s9234/atpg" -> stages["atpg"]). Deeper
+// descendants and unrelated spans are ignored.
+func stageBreakdown(recs []obs.SpanRecord, circuit string) map[string]time.Duration {
+	prefix := circuit + "/"
+	var stages map[string]time.Duration
+	for _, rec := range recs {
+		rest, ok := strings.CutPrefix(rec.Path, prefix)
+		if !ok || strings.Contains(rest, "/") {
+			continue
+		}
+		if stages == nil {
+			stages = map[string]time.Duration{}
+		}
+		stages[rest] += rec.Duration
+	}
+	return stages
+}
+
+// SuiteEvent is one progress notification from RunSuiteCheckpointed. Each
+// circuit produces two events: a start event (Res nil) just before compute
+// begins — skipped for checkpoint hits — and a completion event carrying
+// the fresh or reloaded result.
+type SuiteEvent struct {
+	// Index (0-based) and Total locate the circuit within the run.
+	Index int
+	Total int
+	Spec  Spec
+	// Res is nil for a start event, the circuit's result otherwise.
+	Res *CircuitResult
+	// Cached reports that Res was served from a checkpoint entry.
+	Cached bool
+}
+
+// SuiteProgress receives SuiteEvents during a checkpointed run.
+type SuiteProgress func(ev SuiteEvent)
 
 // RunSuiteCheckpointed drives the configured suite subset with
 // checkpointing. For each circuit it reuses a matching checkpoint entry if
@@ -247,9 +314,12 @@ func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest
 		if res, ok := cached[spec.Name]; ok && res.Satisfies(creq) {
 			out = append(out, res)
 			if progress != nil {
-				progress(res, true)
+				progress(SuiteEvent{Index: i, Total: len(specs), Spec: spec, Res: res, Cached: true})
 			}
 			continue
+		}
+		if progress != nil {
+			progress(SuiteEvent{Index: i, Total: len(specs), Spec: spec})
 		}
 		res, err := ComputeCircuit(ctx, spec, cfg, creq)
 		if err != nil {
@@ -262,7 +332,7 @@ func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest
 		}
 		out = append(out, res)
 		if progress != nil {
-			progress(res, false)
+			progress(SuiteEvent{Index: i, Total: len(specs), Spec: spec, Res: res})
 		}
 	}
 	return out, nil

@@ -117,11 +117,14 @@ func TestResumeSkipsCompletedCircuits(t *testing.T) {
 	computed := map[string]bool{}
 	cachedSeen := map[string]bool{}
 	results, err := RunSuiteCheckpointed(context.Background(), cfg, req, dir, nil,
-		func(res *CircuitResult, cached bool) {
-			if cached {
-				cachedSeen[res.Name] = true
+		func(ev SuiteEvent) {
+			if ev.Res == nil {
+				return // start event
+			}
+			if ev.Cached {
+				cachedSeen[ev.Res.Name] = true
 			} else {
-				computed[res.Name] = true
+				computed[ev.Res.Name] = true
 			}
 		})
 	if err != nil {

@@ -103,12 +103,15 @@ func TestRunCircuitAndTables(t *testing.T) {
 		}
 	}
 
-	row3, err := TableIII(context.Background(), r)
+	row3, solver3, err := TableIII(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(row3.Cells) != 4 {
 		t.Fatalf("T3 cells = %d", len(row3.Cells))
+	}
+	if solver3.Solves == 0 {
+		t.Fatal("TableIII reported no exact solves")
 	}
 	prevF, prevS := 1<<30, 1<<30
 	for _, cell := range row3.Cells {

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 
 	"fastmon/internal/cell"
 	"fastmon/internal/core"
 	"fastmon/internal/fault"
+	"fastmon/internal/obs"
 	"fastmon/internal/schedule"
 )
 
@@ -21,10 +23,14 @@ type Run struct {
 // RunCircuit executes the end-to-end flow for one suite entry.
 func RunCircuit(ctx context.Context, spec Spec, cfg SuiteConfig) (*Run, error) {
 	cfg = cfg.Defaults()
+	_, buildSpan := obs.StartSpan(ctx, "build")
 	c, err := spec.Build(cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
+	buildSpan.End(
+		slog.Int("gates", c.NumGates()),
+		slog.Int("ffs", c.NumFFs()))
 	lib := cell.NanGate45()
 	// Choose the sampling stride so the simulated universe stays within
 	// the budget.
@@ -161,15 +167,18 @@ type T3Row struct {
 // TableIIICoverages are the paper's coverage targets.
 var TableIIICoverages = []float64{0.99, 0.98, 0.95, 0.90}
 
-// TableIII builds ILP schedules for each partial-coverage target.
-func TableIII(ctx context.Context, r *Run) (T3Row, error) {
+// TableIII builds ILP schedules for each partial-coverage target. The
+// second return value aggregates the exact-solver effort over all of them.
+func TableIII(ctx context.Context, r *Run) (T3Row, schedule.SolverStats, error) {
 	f := r.Flow
 	row := T3Row{Name: r.Spec.Name}
+	var solver schedule.SolverStats
 	for _, cov := range TableIIICoverages {
 		s, err := f.BuildSchedule(ctx, schedule.ILP, cov)
 		if err != nil {
-			return T3Row{}, fmt.Errorf("%s/cov%.2f: %w", r.Spec.Name, cov, err)
+			return T3Row{}, solver, fmt.Errorf("%s/cov%.2f: %w", r.Spec.Name, cov, err)
 		}
+		addSolver(&solver, s.Solver)
 		cell := T3Cell{
 			Cov: cov,
 			F:   s.NumFrequencies(),
@@ -179,7 +188,17 @@ func TableIII(ctx context.Context, r *Run) (T3Row, error) {
 		cell.DeltaPct = schedule.ReductionPercent(cell.PC, cell.S)
 		row.Cells = append(row.Cells, cell)
 	}
-	return row, nil
+	return row, solver, nil
+}
+
+// addSolver accumulates per-schedule solver effort into a total.
+func addSolver(total *schedule.SolverStats, s schedule.SolverStats) {
+	total.Solves += s.Solves
+	total.Nodes += s.Nodes
+	total.Incumbents += s.Incumbents
+	if s.MaxGap > total.MaxGap {
+		total.MaxGap = s.MaxGap
+	}
 }
 
 // Fig3Point is one sweep point of Fig. 3.

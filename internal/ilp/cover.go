@@ -17,6 +17,12 @@ type CoverResult struct {
 	Optimal bool
 	// Nodes counts branch-and-bound nodes.
 	Nodes int
+	// Incumbents counts incumbent improvements found by the search (the
+	// greedy seed is not counted).
+	Incumbents int
+	// Gap is the relative bound gap at exit: zero when optimality was
+	// proven, (|incumbent| - rootBound)/|incumbent| after an abort.
+	Gap float64
 	// Degradation reports the result-quality rung: exact when optimality
 	// was proven, incumbent after a budget or cancellation abort.
 	Degradation fmerr.Degradation
@@ -92,7 +98,8 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 		if err != nil {
 			return CoverResult{}, err
 		}
-		res := CoverResult{Selected: g, Degradation: fmerr.DegradeIncumbent}
+		res := CoverResult{Selected: g, Gap: 1, Degradation: fmerr.DegradeIncumbent}
+		recordSolve(ctx, 0, 0, false, 1)
 		if s == stopCanceled {
 			return res, fmerr.Wrap(fmerr.StageSolve, "setcover", ctx.Err())
 		}
@@ -174,6 +181,7 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 	if uncovered.Empty() {
 		sort.Ints(chosen)
 		res.Selected, res.Optimal = chosen, true
+		recordSolve(ctx, 0, 0, true, 0)
 		return res, nil
 	}
 
@@ -226,6 +234,7 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 			if len(cur) < bestLen {
 				bestLen = len(cur)
 				bestSel = append(bestSel[:0], cur...)
+				res.Incumbents++
 			}
 			return
 		}
@@ -263,6 +272,7 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 			cur = cur[:len(cur)-1]
 		}
 	}
+	rootLB := len(chosen) + lowerBound(sub, uncovered)
 	dfs(uncovered.Clone())
 
 	sel := append([]int(nil), chosen...)
@@ -274,7 +284,11 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 	res.Optimal = stopped == stopNone
 	if !res.Optimal {
 		res.Degradation = fmerr.DegradeIncumbent
+		if total := len(sel); total > rootLB && total > 0 {
+			res.Gap = float64(total-rootLB) / float64(total)
+		}
 	}
+	recordSolve(ctx, res.Nodes, res.Incumbents, res.Optimal, res.Gap)
 	if stopped == stopCanceled {
 		return res, fmerr.Wrap(fmerr.StageSolve, "setcover", ctx.Err())
 	}
@@ -354,7 +368,9 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 	// Entry check: see SetCover.
 	if s := checkCtx(ctx); s != stopNone {
 		res.Selected = incumbent
+		res.Gap = 1
 		res.Degradation = fmerr.DegradeIncumbent
+		recordSolve(ctx, 0, 0, false, 1)
 		if s == stopCanceled {
 			return res, fmerr.Wrap(fmerr.StageSolve, "partialcover", ctx.Err())
 		}
@@ -400,6 +416,7 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 			if len(cur) < bestLen {
 				bestLen = len(cur)
 				bestSel = append(bestSel[:0], cur...)
+				res.Incumbents++
 			}
 			return
 		}
@@ -437,6 +454,13 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 		// Exclude.
 		dfs(pos+1, coveredCnt)
 	}
+	// Root bound for the exit gap: covering the quota needs at least as
+	// many sets as the largest-first size prefix reaching it.
+	rootLB, gain := 0, 0
+	for i := 0; i < len(order) && gain < quota; i++ {
+		gain += sub[order[i]].Count()
+		rootLB++
+	}
 	dfs(0, 0)
 
 	sort.Ints(bestSel)
@@ -444,7 +468,11 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 	res.Optimal = stopped == stopNone
 	if !res.Optimal {
 		res.Degradation = fmerr.DegradeIncumbent
+		if total := len(bestSel); total > rootLB && total > 0 {
+			res.Gap = float64(total-rootLB) / float64(total)
+		}
 	}
+	recordSolve(ctx, res.Nodes, res.Incumbents, res.Optimal, res.Gap)
 	if stopped == stopCanceled {
 		return res, fmerr.Wrap(fmerr.StageSolve, "partialcover", ctx.Err())
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"fastmon/internal/fmerr"
+	"fastmon/internal/obs"
 )
 
 // Options controls the solvers. The solver time budget is carried by the
@@ -53,9 +54,34 @@ type Solution struct {
 	Optimal bool // proven optimal
 	Nodes   int  // branch-and-bound nodes expanded
 	Found   bool // a feasible solution exists in X
+	// Incumbents counts incumbent improvements during the search.
+	Incumbents int
+	// Gap is the relative bound gap at exit, (Value - rootBound)/Value:
+	// zero when optimality was proven, the residual uncertainty after a
+	// budget abort otherwise.
+	Gap float64
 	// Degradation reports the result-quality rung: exact when optimality
 	// was proven, incumbent after a budget abort.
 	Degradation fmerr.Degradation
+}
+
+// recordSolve rolls one exact solve's effort into the context observer:
+// solver counters (nodes expanded, incumbent updates), the per-solve
+// node histogram, and — for early-aborted solves — the degraded-solve
+// counter and the bound gap at exit.
+func recordSolve(ctx context.Context, nodes, incumbents int, optimal bool, gap float64) {
+	o := obs.From(ctx)
+	if o == nil {
+		return
+	}
+	o.Counter("ilp.solves").Inc()
+	o.Counter("ilp.nodes").Add(int64(nodes))
+	o.Counter("ilp.incumbents").Add(int64(incumbents))
+	o.Histogram("ilp.solve_nodes").Observe(int64(nodes))
+	if !optimal {
+		o.Counter("ilp.degraded").Inc()
+		o.Gauge("ilp.last_gap").Set(gap)
+	}
 }
 
 // Solve runs branch-and-bound on a generic 0-1 model. The LP relaxation
@@ -75,7 +101,8 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 	// Entry check: the generic solver has no cheap incumbent to fall back
 	// on, so a spent context yields an empty degraded solution.
 	if s := checkCtx(ctx); s != stopNone {
-		sol := Solution{Value: math.Inf(1), Degradation: fmerr.DegradeIncumbent}
+		sol := Solution{Value: math.Inf(1), Gap: 1, Degradation: fmerr.DegradeIncumbent}
+		recordSolve(ctx, 0, 0, false, 1)
 		if s == stopCanceled {
 			return sol, fmerr.Wrap(fmerr.StageSolve, "solve", ctx.Err())
 		}
@@ -83,6 +110,7 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 	}
 	n := m.NumVars()
 	sol := Solution{Value: math.Inf(1)}
+	rootBound := math.Inf(-1)
 	fixed := make([]int8, n)
 	for i := range fixed {
 		fixed[i] = -1
@@ -112,6 +140,9 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 		case LPInfeasible:
 			return
 		case LPOptimal:
+			if sol.Nodes == 1 {
+				rootBound = lpVal // root relaxation: global lower bound
+			}
 			if lpVal >= sol.Value-1e-9 {
 				return
 			}
@@ -137,6 +168,7 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 					v := m.Value(x)
 					if v < sol.Value {
 						sol.Value, sol.X, sol.Found = v, x, true
+						sol.Incumbents++
 					}
 					return
 				}
@@ -166,6 +198,7 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 				if m.Feasible(x) {
 					if v := m.Value(x); v < sol.Value {
 						sol.Value, sol.X, sol.Found = v, x, true
+						sol.Incumbents++
 					}
 				}
 				return
@@ -186,6 +219,18 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 	if !sol.Found {
 		sol.Value = math.Inf(1)
 	}
+	if !sol.Optimal && sol.Found {
+		switch {
+		case math.IsInf(rootBound, -1) || sol.Value <= 0:
+			sol.Gap = 1 // no usable bound: fully unresolved
+		default:
+			sol.Gap = (sol.Value - rootBound) / sol.Value
+			if sol.Gap < 0 {
+				sol.Gap = 0
+			}
+		}
+	}
+	recordSolve(ctx, sol.Nodes, sol.Incumbents, sol.Optimal, sol.Gap)
 	if stopped == stopCanceled {
 		return sol, fmerr.Wrap(fmerr.StageSolve, "solve", ctx.Err())
 	}

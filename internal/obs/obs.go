@@ -1,0 +1,229 @@
+// Package obs is the pipeline-wide observability layer: structured spans
+// for stage timing, a registry of lock-free metrics (counters, gauges,
+// histograms), and a machine-readable run manifest. It is built entirely
+// on the standard library — log/slog for structured output, sync/atomic
+// for counters — so every pipeline stage can be instrumented without
+// adding a dependency.
+//
+// An *Observer travels in the context.Context that already threads
+// through the flow for cancellation. Stages retrieve it with From and
+// record through it; a nil observer (no observer attached) is fully
+// valid and every operation on it is a cheap no-op, so instrumented code
+// never branches on "is telemetry enabled".
+//
+// Span taxonomy (paths are slash-joined by nesting):
+//
+//	<circuit>/build     synthetic netlist generation
+//	<circuit>/sta       timing analysis, clocking, monitor placement
+//	<circuit>/classify  structural fault partition
+//	<circuit>/atpg      test generation
+//	<circuit>/detect    timing-accurate fault simulation
+//	<circuit>/extract   detection classification, target extraction
+//	<circuit>/schedule  two-step 0-1-ILP schedule construction
+//
+// The leading <circuit>/ component is added by the experiment harness;
+// a direct library run emits the bare stage names.
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// maxSpans bounds the completed-span buffer so unbounded pipelines (the
+// full-scale suite runs for hours) cannot grow memory without limit.
+// Overflow drops the oldest records; stage aggregation keeps running
+// totals separately and is unaffected.
+const maxSpans = 65536
+
+// Observer is the observability hub: a structured logger, a metrics
+// registry and a sink for completed spans. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use and safe
+// on a nil receiver.
+type Observer struct {
+	logger *slog.Logger
+	reg    *Registry
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int
+}
+
+// New returns an Observer logging through the given logger (nil discards
+// all log output but still collects spans and metrics).
+func New(logger *slog.Logger) *Observer {
+	if logger == nil {
+		logger = discardLogger
+	}
+	return &Observer{logger: logger, reg: NewRegistry()}
+}
+
+// discardLogger drops everything before formatting.
+var discardLogger = slog.New(discardHandler{})
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Logger returns the observer's structured logger (a discarding logger
+// for a nil observer), so stages can emit ad-hoc structured events.
+func (o *Observer) Logger() *slog.Logger {
+	if o == nil {
+		return discardLogger
+	}
+	return o.logger
+}
+
+// Metrics returns the observer's registry (nil for a nil observer; the
+// registry accessors are themselves nil-safe).
+func (o *Observer) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Counter returns the named counter (a no-op counter when o is nil).
+func (o *Observer) Counter(name string) *Counter { return o.Metrics().Counter(name) }
+
+// Gauge returns the named gauge (a no-op gauge when o is nil).
+func (o *Observer) Gauge(name string) *Gauge { return o.Metrics().Gauge(name) }
+
+// Histogram returns the named histogram (a no-op histogram when o is nil).
+func (o *Observer) Histogram(name string) *Histogram { return o.Metrics().Histogram(name) }
+
+// record stores a completed span, dropping the oldest on overflow.
+func (o *Observer) record(r SpanRecord) {
+	o.mu.Lock()
+	if len(o.spans) >= maxSpans {
+		o.spans = o.spans[1:]
+		o.dropped++
+	}
+	o.spans = append(o.spans, r)
+	o.mu.Unlock()
+}
+
+// Spans returns a copy of the completed-span records in completion order.
+func (o *Observer) Spans() []SpanRecord {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]SpanRecord(nil), o.spans...)
+}
+
+// SpanMark is an opaque position in the span stream; see SpansSince.
+type SpanMark int
+
+// Mark returns the current position of the span stream so a caller can
+// later retrieve only the spans completed after this point.
+func (o *Observer) Mark() SpanMark {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return SpanMark(o.dropped + len(o.spans))
+}
+
+// SpansSince returns the spans completed after the mark.
+func (o *Observer) SpansSince(m SpanMark) []SpanRecord {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i := int(m) - o.dropped
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(o.spans) {
+		return nil
+	}
+	return append([]SpanRecord(nil), o.spans[i:]...)
+}
+
+// --- context plumbing ----------------------------------------------------
+
+type obsKey struct{}
+
+// With returns a context carrying the observer; every stage downstream
+// records through it.
+func With(ctx context.Context, o *Observer) context.Context {
+	return context.WithValue(ctx, obsKey{}, o)
+}
+
+// From returns the context's observer, or nil when none is attached. A
+// nil *Observer is valid: every method is a no-op.
+func From(ctx context.Context) *Observer {
+	o, _ := ctx.Value(obsKey{}).(*Observer)
+	return o
+}
+
+// --- spans ---------------------------------------------------------------
+
+type spanPathKey struct{}
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	// Path is the slash-joined nesting path ("s9234/detect").
+	Path string `json:"path"`
+	// Name is the final path component ("detect").
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Span is one live timing region. End completes it; a nil span (from a
+// context without an observer) no-ops.
+type Span struct {
+	o     *Observer
+	name  string
+	path  string
+	start time.Time
+}
+
+// StartSpan opens a span named name under the context's current span
+// path and returns a derived context carrying the extended path (pass it
+// to children to nest) together with the live span. With no observer in
+// ctx it returns ctx unchanged and a nil span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	o := From(ctx)
+	if o == nil {
+		return ctx, nil
+	}
+	path := name
+	if parent, _ := ctx.Value(spanPathKey{}).(string); parent != "" {
+		path = parent + "/" + name
+	}
+	s := &Span{o: o, name: name, path: path, start: time.Now()}
+	return context.WithValue(ctx, spanPathKey{}, path), s
+}
+
+// End completes the span: the record is stored on the observer, the
+// duration is rolled into the histogram "span.<name>" (nanoseconds), and
+// a debug-level log line is emitted with any extra attributes.
+func (s *Span) End(attrs ...slog.Attr) {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.o.record(SpanRecord{Path: s.path, Name: s.name, Start: s.start, Duration: d})
+	s.o.Histogram("span." + s.name).Observe(int64(d))
+	all := append(attrs, slog.String("span", s.path), slog.Duration("dur", d))
+	s.o.logger.LogAttrs(context.Background(), slog.LevelDebug, "span end", all...)
+}
+
+// Elapsed returns the time since the span started (zero for nil spans).
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}

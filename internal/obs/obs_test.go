@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanNesting: spans started from a child context carry the
+// slash-joined path of their ancestors; siblings do not nest.
+func TestSpanNesting(t *testing.T) {
+	o := New(nil)
+	ctx := With(context.Background(), o)
+
+	cctx, circuit := StartSpan(ctx, "s9234")
+	_, atpgSpan := StartSpan(cctx, "atpg")
+	atpgSpan.End()
+	_, detectSpan := StartSpan(cctx, "detect") // sibling of atpg, child of s9234
+	detectSpan.End()
+	circuit.End()
+	_, top := StartSpan(ctx, "schedule") // no parent
+	top.End()
+
+	spans := o.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	paths := map[string]string{}
+	for _, s := range spans {
+		paths[s.Name] = s.Path
+	}
+	want := map[string]string{
+		"atpg":     "s9234/atpg",
+		"detect":   "s9234/detect",
+		"s9234":    "s9234",
+		"schedule": "schedule",
+	}
+	for name, path := range want {
+		if paths[name] != path {
+			t.Errorf("span %q path = %q, want %q", name, paths[name], path)
+		}
+	}
+	// Completion order: children end before parents.
+	if spans[0].Name != "atpg" || spans[2].Name != "s9234" {
+		t.Errorf("unexpected completion order: %v", spans)
+	}
+	// Durations are recorded into the span histogram.
+	snap := o.Metrics().Snapshot()
+	if snap.Histograms["span.atpg"].Count != 1 {
+		t.Errorf("span.atpg histogram count = %d", snap.Histograms["span.atpg"].Count)
+	}
+}
+
+// TestNilObserverSafe: a context without an observer yields nil spans,
+// counters and loggers that all no-op instead of panicking.
+func TestNilObserverSafe(t *testing.T) {
+	ctx := context.Background()
+	if From(ctx) != nil {
+		t.Fatal("empty context returned an observer")
+	}
+	var o *Observer
+	o.Counter("x").Add(5)
+	o.Gauge("y").Set(1)
+	o.Histogram("z").Observe(2)
+	o.Logger().Info("discarded")
+	_, s := StartSpan(ctx, "stage")
+	s.End()
+	if s.Elapsed() != 0 {
+		t.Error("nil span reported elapsed time")
+	}
+	if got := o.Metrics().Snapshot(); len(got.Counters) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", got)
+	}
+	if o.Spans() != nil || o.SpansSince(o.Mark()) != nil {
+		t.Error("nil observer returned spans")
+	}
+}
+
+// TestCounterConcurrency hammers one counter, one gauge and one
+// histogram from many goroutines; run under -race this proves the
+// instruments are race-clean, and the final totals prove no lost
+// updates.
+func TestCounterConcurrency(t *testing.T) {
+	o := New(nil)
+	const workers, perWorker = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mixed lookup + hoisted instrument use, like real stages.
+			c := o.Counter("hot")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				o.Counter("cold").Add(2)
+				o.Histogram("h").Observe(int64(i))
+				o.Gauge("g").Set(float64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := o.Counter("hot").Value(); got != workers*perWorker {
+		t.Errorf("hot = %d, want %d", got, workers*perWorker)
+	}
+	if got := o.Counter("cold").Value(); got != 2*workers*perWorker {
+		t.Errorf("cold = %d, want %d", got, 2*workers*perWorker)
+	}
+	snap := o.Metrics().Snapshot()
+	if snap.Histograms["h"].Count != workers*perWorker {
+		t.Errorf("histogram count = %d", snap.Histograms["h"].Count)
+	}
+	if g := snap.Gauges["g"]; g < 0 || g >= workers {
+		t.Errorf("gauge = %v, want one of the worker ids", g)
+	}
+}
+
+// TestSpanConcurrency ends spans from many goroutines (the detect worker
+// pool does this) — must be race-clean and lose nothing.
+func TestSpanConcurrency(t *testing.T) {
+	o := New(nil)
+	ctx := With(context.Background(), o)
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, s := StartSpan(ctx, "worker")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	if got := len(o.Spans()); got != n {
+		t.Errorf("got %d spans, want %d", got, n)
+	}
+}
+
+// TestSpansSince: the mark/since pair isolates the spans of one circuit.
+func TestSpansSince(t *testing.T) {
+	o := New(nil)
+	ctx := With(context.Background(), o)
+	_, a := StartSpan(ctx, "before")
+	a.End()
+	mark := o.Mark()
+	_, b := StartSpan(ctx, "after")
+	b.End()
+	since := o.SpansSince(mark)
+	if len(since) != 1 || since[0].Name != "after" {
+		t.Fatalf("SpansSince = %+v", since)
+	}
+}
+
+// TestSpanLogging: ending a span emits a debug record with the path and
+// any extra attributes through the observer's logger.
+func TestSpanLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	o := New(logger)
+	ctx := With(context.Background(), o)
+	_, s := StartSpan(ctx, "atpg")
+	s.End(slog.Int("patterns", 42))
+	out := buf.String()
+	for _, want := range []string{`"span":"atpg"`, `"patterns":42`, `"dur"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %s: %s", want, out)
+		}
+	}
+}
+
+// TestHistogramBuckets: values land in the power-of-two bucket whose
+// label is their largest lower bound (bucket "4" holds 4..7).
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	r := NewRegistry()
+	// Snapshot through a registry for the rendered labels.
+	rh := r.Histogram("h")
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000} {
+		rh.Observe(v)
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms["h"]
+	if hs.Count != 6 || hs.Sum != 1010 {
+		t.Fatalf("count/sum = %d/%d", hs.Count, hs.Sum)
+	}
+	wantBuckets := map[string]int64{
+		"0":   1, // v=0
+		"1":   1, // v=1
+		"2":   2, // v=2,3
+		"4":   1, // v=4
+		"512": 1, // v=1000
+	}
+	for label, want := range wantBuckets {
+		if hs.Buckets[label] != want {
+			t.Errorf("bucket %q = %d, want %d (all: %v)", label, hs.Buckets[label], want, hs.Buckets)
+		}
+	}
+}
+
+// TestSpanOverflow: the completed-span buffer is bounded and marks keep
+// working after overflow.
+func TestSpanOverflow(t *testing.T) {
+	o := New(nil)
+	for i := 0; i < maxSpans+10; i++ {
+		o.record(SpanRecord{Name: "x", Start: time.Now()})
+	}
+	if got := len(o.Spans()); got != maxSpans {
+		t.Errorf("buffer holds %d spans, want %d", got, maxSpans)
+	}
+	mark := o.Mark()
+	o.record(SpanRecord{Name: "y", Start: time.Now()})
+	since := o.SpansSince(mark)
+	if len(since) != 1 || since[0].Name != "y" {
+		t.Errorf("SpansSince after overflow = %+v", since)
+	}
+}

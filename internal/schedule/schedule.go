@@ -11,6 +11,7 @@ package schedule
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"fastmon/internal/fmerr"
 	"fastmon/internal/ilp"
 	"fastmon/internal/interval"
+	"fastmon/internal/obs"
 	"fastmon/internal/tunit"
 )
 
@@ -104,6 +106,29 @@ type PeriodPlan struct {
 	Combos []Combo
 }
 
+// SolverStats aggregates the exact-solver effort spent building one
+// schedule: the covering solves run (frequency selection plus one combo
+// selection per period), branch-and-bound nodes expanded, and incumbent
+// improvements found. All zero for the greedy and conventional methods.
+type SolverStats struct {
+	Solves     int `json:"solves"`
+	Nodes      int `json:"nodes"`
+	Incumbents int `json:"incumbents"`
+	// MaxGap is the largest relative bound gap any budget-aborted solve
+	// exited with (zero when every solve proved optimality).
+	MaxGap float64 `json:"max_gap,omitempty"`
+}
+
+// add rolls one exact solve's effort into the totals.
+func (st *SolverStats) add(res ilp.CoverResult) {
+	st.Solves++
+	st.Nodes += res.Nodes
+	st.Incumbents += res.Incumbents
+	if res.Gap > st.MaxGap {
+		st.MaxGap = res.Gap
+	}
+}
+
 // Schedule is the complete FAST schedule S ⊆ F × P × C.
 type Schedule struct {
 	Method  Method
@@ -124,6 +149,8 @@ type Schedule struct {
 	// exact — the heuristic is the requested algorithm there, not a
 	// degradation of it.
 	Degradation fmerr.Degradation
+	// Solver summarizes the exact-solver effort behind this schedule.
+	Solver SolverStats
 }
 
 // NumFrequencies returns |F|, the number of selected clock periods.
@@ -152,6 +179,24 @@ func Build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 		delays = nil
 	}
 
+	s := &Schedule{Method: opt.Method}
+	_, span := obs.StartSpan(ctx, "schedule")
+	defer func() {
+		o := obs.From(ctx)
+		o.Counter("schedule.builds").Inc()
+		o.Counter("schedule.frequencies").Add(int64(len(s.Periods)))
+		o.Counter("schedule.combos").Add(int64(s.Size()))
+		for _, p := range s.Periods {
+			o.Histogram("schedule.combos_per_frequency").Observe(int64(len(p.Combos)))
+		}
+		span.End(
+			slog.String("method", opt.Method.String()),
+			slog.Int("frequencies", len(s.Periods)),
+			slog.Int("combos", s.Size()),
+			slog.Int("covered", s.Covered),
+			slog.Int("solver_nodes", s.Solver.Nodes))
+	}()
+
 	// Step 0: combined detection ranges and observation-time candidates.
 	ranges := make([]interval.Set, len(data))
 	for i := range data {
@@ -161,7 +206,7 @@ func Build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 	universe := dot.CoverableFaults(cands, len(data))
 	coverable := universe.Count()
 
-	s := &Schedule{Method: opt.Method, Coverable: coverable}
+	s.Coverable = coverable
 	if coverable == 0 {
 		s.FreqOptimal, s.CombosOptimal = true, true
 		return s, nil
@@ -190,6 +235,7 @@ func Build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 		}
 		selected, s.FreqOptimal = res.Selected, res.Optimal
 		s.Degradation = fmerr.Worse(s.Degradation, res.Degradation)
+		s.Solver.add(res)
 	case opt.Method == ILP:
 		res, err := solveBudgeted(ctx, opt, func(sctx context.Context) (ilp.CoverResult, error) {
 			return ilp.PartialCover(sctx, sets, universe, quota, ilp.Options{})
@@ -199,6 +245,7 @@ func Build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 		}
 		selected, s.FreqOptimal = res.Selected, res.Optimal
 		s.Degradation = fmerr.Worse(s.Degradation, res.Degradation)
+		s.Solver.add(res)
 	case quota == coverable:
 		var err error
 		selected, err = ilp.GreedyCover(sets, universe)
@@ -343,6 +390,7 @@ func optimizeCombos(ctx context.Context, data []detect.FaultData, plan *PeriodPl
 			s.CombosOptimal = false
 		}
 		s.Degradation = fmerr.Worse(s.Degradation, res.Degradation)
+		s.Solver.add(res)
 	} else {
 		var err error
 		chosen, err = ilp.GreedyCover(sets, target)
