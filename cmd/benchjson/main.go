@@ -1,0 +1,168 @@
+// Command benchjson converts `go test -bench -json` output into a compact
+// machine-readable benchmark report. It reads the test2json event stream
+// (or plain -bench text) from stdin, extracts every benchmark result line,
+// and writes a JSON document with per-benchmark numbers plus the
+// event-vs-naive speedups of paired sub-benchmarks:
+//
+//	go test -run '^$' -bench 'BenchmarkDetect|BenchmarkFaultSim' -json \
+//	    ./internal/sim | benchjson -o BENCH_detect.json
+//
+// Any benchmark family with /event and /naive variants (BenchmarkDetect,
+// BenchmarkFaultSim) gets a speedup entry. CI uploads the resulting
+// BENCH_detect.json as a build artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json record we care about.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GOOS       string             `json:"goos,omitempty"`
+	GOARCH     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Package    string             `json:"pkg,omitempty"`
+	Benchmarks []Result           `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+// benchLine matches a gotest benchmark result, e.g.
+// "BenchmarkDetect/event-8   42   35387135 ns/op   80944 B/op   470 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func parseLine(line string, rep *Report) {
+	line = strings.TrimRight(line, "\n")
+	switch {
+	case strings.HasPrefix(line, "goos: "):
+		rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		return
+	case strings.HasPrefix(line, "goarch: "):
+		rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		return
+	case strings.HasPrefix(line, "cpu: "):
+		rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		return
+	case strings.HasPrefix(line, "pkg: "):
+		rep.Package = strings.TrimPrefix(line, "pkg: ")
+		return
+	}
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return
+	}
+	r := Result{Name: m[1]}
+	r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+	r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+	rest := strings.Fields(m[4])
+	for i := 0; i+1 < len(rest); i += 2 {
+		v, err := strconv.ParseInt(rest[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch rest[i+1] {
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	rep.Benchmarks = append(rep.Benchmarks, r)
+}
+
+// speedups derives naive/event ratios for every benchmark family that has
+// both variants.
+func speedups(results []Result) map[string]float64 {
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	out := map[string]float64{}
+	for name, ev := range byName {
+		base, ok := strings.CutSuffix(name, "/event")
+		if !ok {
+			continue
+		}
+		nv, ok := byName[base+"/naive"]
+		if !ok || ev <= 0 {
+			continue
+		}
+		out[base] = nv / ev
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func run(out string) error {
+	var rep Report
+	// test2json splits a single benchmark result across several output
+	// events (the name is flushed before the numbers), so reassemble the
+	// full text stream first and parse it line by line afterwards.
+	var text strings.Builder
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		var ev event
+		if strings.HasPrefix(line, "{") && json.Unmarshal([]byte(line), &ev) == nil {
+			if ev.Action == "output" {
+				text.WriteString(ev.Output)
+			}
+			continue
+		}
+		text.WriteString(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, line := range strings.Split(text.String(), "\n") {
+		parseLine(line, &rep)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+	rep.Speedups = speedups(rep.Benchmarks)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_detect.json", "output path (- for stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

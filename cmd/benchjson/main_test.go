@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseLinePlain(t *testing.T) {
+	var rep Report
+	parseLine("goos: linux", &rep)
+	parseLine("cpu: Intel(R) Xeon(R) Processor @ 2.10GHz", &rep)
+	parseLine("BenchmarkDetect/event-8 \t      42\t  35387135 ns/op", &rep)
+	parseLine("BenchmarkDetect/naive-8 \t       1\t8573926194 ns/op", &rep)
+	parseLine("BenchmarkFaultSim/event \t   10000\t    110789 ns/op\t   80944 B/op\t     470 allocs/op", &rep)
+	parseLine("ok  \tfastmon/internal/sim\t8.644s", &rep)
+	if rep.GOOS != "linux" || rep.CPU == "" {
+		t.Fatalf("metadata not captured: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[2]
+	if b.Name != "BenchmarkFaultSim/event" || b.Iterations != 10000 ||
+		b.NsPerOp != 110789 || b.BytesPerOp != 80944 || b.AllocsPerOp != 470 {
+		t.Fatalf("bad parse: %+v", b)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	got := speedups([]Result{
+		{Name: "BenchmarkDetect/event", NsPerOp: 100},
+		{Name: "BenchmarkDetect/naive", NsPerOp: 250},
+		{Name: "BenchmarkBaselineCached", NsPerOp: 5},
+		{Name: "BenchmarkFaultSim/event", NsPerOp: 0}, // guarded
+	})
+	if len(got) != 1 || got["BenchmarkDetect"] != 2.5 {
+		t.Fatalf("speedups = %v, want BenchmarkDetect:2.5 only", got)
+	}
+}

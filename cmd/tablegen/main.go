@@ -67,6 +67,7 @@ func main() {
 		steps    = flag.Int("steps", 10, "sweep points for -fig3")
 		ckpt     = flag.String("checkpoint", "", "directory for per-circuit result checkpoints")
 		resume   = flag.Bool("resume", false, "reuse completed circuits from -checkpoint DIR")
+		slowsim  = flag.Bool("slowsim", false, "use the naive full-resimulation fault simulator (differential debugging)")
 
 		verbose    = flag.Bool("v", false, "log per-stage spans and telemetry to stderr")
 		jsonLogs   = flag.Bool("json-logs", false, "emit logs as JSON lines (machine-readable)")
@@ -86,7 +87,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tablegen: -resume requires -checkpoint DIR")
 		os.Exit(2)
 	}
-	cfg := exper.SuiteConfig{Scale: *scale, MaxFaults: *maxF, SolverBudget: *budget}
+	cfg := exper.SuiteConfig{Scale: *scale, MaxFaults: *maxF, SolverBudget: *budget, SlowSim: *slowsim}
 	if *circuits != "" {
 		cfg.Names = strings.Split(*circuits, ",")
 	}

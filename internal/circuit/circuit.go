@@ -140,8 +140,9 @@ type Circuit struct {
 	DFFs    []int // flip-flop gate IDs
 
 	byName    map[string]int
-	topo      []int // combinational gates in topological order
-	level     []int // logic level per gate (0 for sources)
+	topo      []int  // combinational gates in topological order
+	level     []int  // logic level per gate (0 for sources)
+	tapReach  []bool // per gate: does its output signal reach an observation point?
 	finalized bool
 
 	coneMu sync.RWMutex
@@ -247,8 +248,51 @@ func (c *Circuit) Finalize() error {
 	if err := c.buildTopo(); err != nil {
 		return err
 	}
+	c.buildTapReach()
 	c.finalized = true
 	return nil
+}
+
+// buildTapReach marks every gate whose output signal can structurally reach
+// an observation point (a primary output or a flip-flop D input) through
+// combinational logic. The event-driven fault simulator and the
+// detection-range driver use it to drop (fault, pattern) work whose fanout
+// cone is observed nowhere.
+func (c *Circuit) buildTapReach() {
+	c.tapReach = make([]bool, len(c.Gates))
+	stack := make([]int, 0, len(c.Gates))
+	seed := func(id int) {
+		if !c.tapReach[id] {
+			c.tapReach[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, id := range c.Outputs {
+		seed(id)
+	}
+	for _, ff := range c.DFFs {
+		seed(c.Gates[ff].Fanin[0])
+	}
+	// Walk fanin edges backwards; DFF outputs are sources of the
+	// combinational view, so reachability does not cross them.
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if c.Gates[id].Kind == DFF {
+			continue
+		}
+		for _, f := range c.Gates[id].Fanin {
+			seed(f)
+		}
+	}
+}
+
+// ReachesTap reports whether the output signal of gate id has a structural
+// combinational path to any observation point. A delay fault at a site for
+// which this is false can never be detected.
+func (c *Circuit) ReachesTap(id int) bool {
+	c.mustFinal()
+	return c.tapReach[id]
 }
 
 // buildTopo computes a levelized order of the combinational gates. Sources
@@ -398,25 +442,21 @@ func (c *Circuit) FanoutCone(from int) []int {
 }
 
 func (c *Circuit) fanoutCone(from int) []int {
-	mark := make(map[int]bool)
-	var stack []int
-	for _, fo := range c.Gates[from].Fanout {
-		if c.Gates[fo].Kind != DFF && !mark[fo] {
-			mark[fo] = true
-			stack = append(stack, fo)
-		}
-	}
+	mark := make([]bool, len(c.Gates))
+	n := 0
+	stack := []int{from}
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, fo := range c.Gates[id].Fanout {
 			if c.Gates[fo].Kind != DFF && !mark[fo] {
 				mark[fo] = true
+				n++
 				stack = append(stack, fo)
 			}
 		}
 	}
-	cone := make([]int, 0, len(mark))
+	cone := make([]int, 0, n)
 	for _, id := range c.topo {
 		if mark[id] {
 			cone = append(cone, id)
@@ -430,7 +470,8 @@ func (c *Circuit) fanoutCone(from int) []int {
 // `from` itself).
 func (c *Circuit) ReachableTaps(from int) []int {
 	c.mustFinal()
-	inCone := map[int]bool{from: true}
+	inCone := make([]bool, len(c.Gates))
+	inCone[from] = true
 	for _, id := range c.FanoutCone(from) {
 		inCone[id] = true
 	}

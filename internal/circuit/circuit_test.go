@@ -413,3 +413,64 @@ func TestParseC17(t *testing.T) {
 		t.Fatalf("c17 all-ones: 22=%v 23=%v", val[g22], val[g23])
 	}
 }
+
+// TestReachesTap checks the tap-reachability precompute the event-driven
+// fault simulator uses to skip structurally undetectable faults: a gate
+// reaches a tap exactly when some primary output or DFF data input lies in
+// its combinational fanout cone.
+func TestReachesTap(t *testing.T) {
+	c := New("reach")
+	a := c.AddGate("a", Input)
+	b := c.AddGate("b", Input)
+	n1 := c.AddGate("n1", Nand, a, b)
+	po := c.AddGate("po", Not, n1)
+	c.MarkOutput(po)
+	d := c.AddGate("d", And, a, n1)
+	ff := c.AddGate("ff", DFF, d)
+	// q feeds only dead logic: observable through nothing.
+	dead := c.AddGate("dead", Not, ff)
+	dead2 := c.AddGate("dead2", And, dead, b)
+	_ = dead2
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	wantReach := map[int]bool{
+		a: true, b: true, n1: true, po: true, d: true,
+		// The DFF output itself feeds only the dead chain; its D input (d)
+		// is the tap, so the FF gate is not required to reach one.
+		ff: false, dead: false, dead2: false,
+	}
+	for id, want := range wantReach {
+		if got := c.ReachesTap(id); got != want {
+			t.Errorf("ReachesTap(%s) = %v, want %v", c.Gates[id].Name, got, want)
+		}
+	}
+	// Cross-check against the explicit cone walk for every gate.
+	for id := range c.Gates {
+		if got, want := c.ReachesTap(id), len(c.ReachableTaps(id)) > 0; got != want {
+			t.Errorf("ReachesTap(%s) = %v but ReachableTaps has %d entries",
+				c.Gates[id].Name, got, len(c.ReachableTaps(id)))
+		}
+	}
+}
+
+// TestFanoutConeTopoOrder: the cone must come back in ascending level
+// order — the event-driven simulator's single-sweep worklist depends on
+// processing each cone gate after all its disturbed fanins.
+func TestFanoutConeTopoOrder(t *testing.T) {
+	c := MustGenerate(GenSpec{Name: "cone", Gates: 300, FFs: 24, Inputs: 10, Outputs: 8, Depth: 12, Seed: 5})
+	for id := range c.Gates {
+		cone := c.FanoutCone(id)
+		for i := 1; i < len(cone); i++ {
+			if c.Level(cone[i-1]) > c.Level(cone[i]) {
+				t.Fatalf("cone of %d not level-ordered at %d: level %d after %d",
+					id, i, c.Level(cone[i]), c.Level(cone[i-1]))
+			}
+		}
+		for _, g := range cone {
+			if g == id {
+				t.Fatalf("cone of %d contains the seed gate", id)
+			}
+		}
+	}
+}

@@ -6,10 +6,10 @@ import (
 	"testing"
 )
 
-// FuzzParseBench checks that arbitrary input never panics the parser and
+// FuzzBenchParse checks that arbitrary input never panics the parser and
 // that every accepted netlist survives a write/parse round trip with
 // identical statistics.
-func FuzzParseBench(f *testing.F) {
+func FuzzBenchParse(f *testing.F) {
 	f.Add(S27)
 	f.Add(C17)
 	f.Add("INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n")

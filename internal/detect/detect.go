@@ -41,8 +41,18 @@ type Config struct {
 	// shorter than this are discarded pessimistically, and glitch-sized
 	// gaps between intervals are NOT merged (kept disjoint, per Fig. 1).
 	Glitch tunit.Time
-	// Workers bounds the simulation goroutines (0 = GOMAXPROCS).
+	// Workers bounds the simulation goroutines. The value is clamped to
+	// [1, GOMAXPROCS]: zero and negative values use every CPU, requests
+	// beyond the CPU count are cut down instead of oversubscribing.
 	Workers int
+	// SlowSim is the escape hatch that routes every (fault, pattern) pair
+	// through the naive full-resimulation engine (sim.FaultSimNaive)
+	// instead of the event-driven fast path. It exists for differential
+	// debugging: the two engines are bit-identical by contract, so any
+	// divergence observed by flipping this flag is a simulator bug. The
+	// naive path also skips the cone-reachability pruning, making it the
+	// independent reference.
+	SlowSim bool
 }
 
 // ObservationWindow returns the half-open interval of admissible capture
@@ -139,10 +149,58 @@ func (pr PatternRange) CombinedFree(cfg Config, delays []tunit.Time) interval.Se
 // instead of crashing the process. Always nil in production.
 var testHookPanic func(f fault.Fault, pattern int)
 
+// clampWorkers resolves the configured worker count to [1, GOMAXPROCS]:
+// zero and negative values mean "use every CPU", larger requests are cut
+// down instead of oversubscribing the scheduler.
+func clampWorkers(w int) int {
+	max := runtime.GOMAXPROCS(0)
+	if w <= 0 || w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// shardRange is a contiguous slice [Lo, Hi) of the fault list.
+type shardRange struct{ lo, hi int }
+
+// shardFaults splits the fault list into contiguous shards that never
+// split one gate's faults apart: faults sharing an injection site share a
+// fanout cone, so the worker that claims a shard evaluates closely related
+// cones back to back with one warm scratch arena. Several shards per
+// worker leave the dynamic dispatcher room to balance uneven cone sizes.
+func shardFaults(faults []fault.Fault, workers int) []shardRange {
+	if len(faults) == 0 {
+		return nil
+	}
+	target := (len(faults) + workers*4 - 1) / (workers * 4)
+	if target < 1 {
+		target = 1
+	}
+	var out []shardRange
+	lo := 0
+	for i := 1; i < len(faults); i++ {
+		if i-lo >= target && faults[i].Gate != faults[i-1].Gate {
+			out = append(out, shardRange{lo, i})
+			lo = i
+		}
+	}
+	return append(out, shardRange{lo, len(faults)})
+}
+
 // Run simulates every fault under every pattern and returns the sparse
-// detection data, ordered like the fault list. Simulation parallelizes
-// over patterns; each worker simulates the fault-free circuit once per
-// pattern and then injects every fault into it.
+// detection data, ordered like the fault list.
+//
+// The driver works in pattern chunks: each chunk's fault-free baselines
+// are computed once in parallel into pooled buffers, then the fault list —
+// sharded by injection site so workers keep cone locality and reuse one
+// scratch arena each — is swept over the cached baselines with the
+// event-driven simulator. Faults whose fanout cone reaches no observation
+// point are skipped outright (they cannot be detected); Config.SlowSim
+// routes everything through the naive reference engine instead and
+// disables that pruning.
 //
 // A panic in a worker is recovered and converted to a *fmerr.PanicError
 // naming the fault and pattern being simulated; it fails the run, not the
@@ -151,31 +209,29 @@ var testHookPanic func(f fault.Fault, pattern int)
 func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
 	patterns []sim.Pattern, cfg Config) ([]FaultData, error) {
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(patterns) {
-		workers = len(patterns)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := clampWorkers(cfg.Workers)
 	horizon := cfg.Clk + 1
 
 	// Telemetry: per-run atomics (rolled into the shared registry at the
 	// end, so events/sec reflects this run, not the process lifetime).
-	// busyNs accumulates per-pattern worker time; utilization is the
-	// busy fraction of the pool's wall-clock capacity.
+	// busyNs accumulates per-shard and per-baseline worker time;
+	// utilization is the busy fraction of the pool's wall-clock capacity.
 	start := time.Now()
 	_, span := obs.StartSpan(ctx, "detect")
-	var nSims, nDetections, nPanics, busyNs atomic.Int64
+	var nSims, nDetections, nPanics, nSkipped, busyNs atomic.Int64
+	var simStats sim.Stats
+	var statsMu sync.Mutex
 	defer func() {
 		o := obs.From(ctx)
 		wall := time.Since(start)
 		o.Counter("detect.sims").Add(nSims.Load())
 		o.Counter("detect.detections").Add(nDetections.Load())
 		o.Counter("detect.panics_recovered").Add(nPanics.Load())
+		o.Counter("detect.cone_skipped_pairs").Add(nSkipped.Load())
+		o.Counter("detect.sim_events").Add(simStats.Events)
+		o.Counter("detect.sim_converged").Add(simStats.Converged)
+		o.Counter("detect.sim_pruned_gates").Add(simStats.Pruned)
+		o.Counter("detect.sim_early_exits").Add(simStats.EarlyExits)
 		if s := wall.Seconds(); s > 0 {
 			o.Gauge("detect.sims_per_sec").Set(float64(nSims.Load()) / s)
 		}
@@ -186,138 +242,212 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 			slog.Int("faults", len(faults)),
 			slog.Int("patterns", len(patterns)),
 			slog.Int("workers", workers),
+			slog.Bool("slowsim", cfg.SlowSim),
 			slog.Int64("sims", nSims.Load()),
-			slog.Int64("detections", nDetections.Load()))
+			slog.Int64("detections", nDetections.Load()),
+			slog.Int64("events", simStats.Events),
+			slog.Int64("cone_skipped", nSkipped.Load()))
 	}()
 
-	type cell struct {
-		ff, sr interval.Set
-	}
-	// results[f][p] is filled independently by workers: no two workers
-	// touch the same pattern index.
-	results := make([]map[int]cell, len(faults))
-	for i := range results {
-		results[i] = nil
-	}
-	var mu sync.Mutex
+	// perFault[fi] is written by exactly one worker per chunk (shards
+	// partition the fault list) with chunks separated by wg.Wait, so the
+	// rows need no locking and come out in ascending pattern order.
+	perFault := make([][]PatternRange, len(faults))
+	shards := shardFaults(faults, workers)
 
-	// Workers cancel the pool on first failure so the dispatcher and the
-	// remaining workers stop promptly instead of draining the pattern set.
+	// Workers cancel the pool on first failure so their peers stop
+	// promptly instead of draining the remaining shards.
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	work := make(chan int)
-	errCh := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// curFault/curPat track the work item for panic attribution.
-			curFault, curPat := -1, -1
-			fail := func(err error) {
-				errCh <- err
-				cancel()
-			}
-			defer func() {
-				if r := recover(); r != nil {
-					nPanics.Add(1)
-					item := fmt.Sprintf("pattern %d", curPat)
-					if curFault >= 0 {
-						item = fmt.Sprintf("fault %s under pattern %d",
-							faults[curFault].Injection(cfg.Delta), curPat)
-					}
-					fail(fmerr.NewPanic(fmerr.StageDetect, item, r))
-				}
-			}()
-			local := make(map[int]map[int]cell) // fault -> pattern -> cell
-			for pi := range work {
-				curFault, curPat = -1, pi
-				patStart := time.Now()
-				base, err := e.BaselineContext(wctx, patterns[pi])
-				if err != nil {
-					fail(err)
-					return
-				}
-				sims, hits := 0, 0
-				for fi, f := range faults {
-					if fi&63 == 0 {
-						if err := wctx.Err(); err != nil {
-							fail(fmerr.Wrap(fmerr.StageDetect, "run", err))
-							return
-						}
-					}
-					curFault = fi
-					if testHookPanic != nil {
-						testHookPanic(f, pi)
-					}
-					sims++
-					dets := e.FaultSim(base, f.Injection(cfg.Delta), horizon)
-					if len(dets) == 0 {
-						continue
-					}
-					var ff, sr interval.Set
-					for _, d := range dets {
-						diff := d.Diff.FilterShort(cfg.Glitch)
-						if diff.Empty() {
-							continue
-						}
-						ff = ff.Union(diff)
-						if placement != nil && placement.Covers(d.Tap) {
-							sr = sr.Union(diff)
-						}
-					}
-					if ff.Empty() && sr.Empty() {
-						continue
-					}
-					m := local[fi]
-					if m == nil {
-						m = map[int]cell{}
-						local[fi] = m
-					}
-					m[pi] = cell{ff: ff, sr: sr}
-					hits++
-				}
-				nSims.Add(int64(sims))
-				nDetections.Add(int64(hits))
-				busyNs.Add(int64(time.Since(patStart)))
-			}
-			mu.Lock()
-			for fi, m := range local {
-				if results[fi] == nil {
-					results[fi] = m
-					continue
-				}
-				for pi, c := range m {
-					results[fi][pi] = c
-				}
-			}
-			mu.Unlock()
-		}()
-	}
-	// The dispatcher must never block on a send to a pool whose workers
-	// have bailed out: select on pool cancellation alongside each send.
-dispatch:
-	for pi := range patterns {
-		select {
-		case work <- pi:
-		case <-wctx.Done():
-			break dispatch
-		}
-	}
-	close(work)
-	wg.Wait()
-	close(errCh)
+	var errMu sync.Mutex
+	var firstErr error
 	// A panicking worker cancels the pool, so its peers also report the
 	// (secondary) cancellation; keep the most informative error.
-	var firstErr error
-	for err := range errCh {
+	fail := func(err error) {
+		errMu.Lock()
 		if firstErr == nil || (!isPanicErr(firstErr) && isPanicErr(err)) {
 			firstErr = err
 		}
+		errMu.Unlock()
+		cancel()
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+
+	// Chunk size bounds baseline-cache memory (chunk × gates waveforms)
+	// while amortizing each baseline over every fault that sees it.
+	chunk := workers * 4
+	if chunk < 16 {
+		chunk = 16
+	}
+	if chunk > 64 {
+		chunk = 64
+	}
+	if chunk > len(patterns) {
+		chunk = len(patterns)
+	}
+	baselines := make([][]sim.Waveform, chunk)
+	defer func() {
+		for _, b := range baselines {
+			if b != nil {
+				e.ReleaseBaseline(b)
+			}
+		}
+	}()
+
+	for lo := 0; lo < len(patterns); lo += chunk {
+		if wctx.Err() != nil {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(patterns) {
+			hi = len(patterns)
+		}
+
+		// Phase A: fault-free baselines for the chunk, in parallel, into
+		// pooled buffers reused across chunks.
+		var pcursor atomic.Int64
+		pcursor.Store(int64(lo))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cur := -1
+				defer func() {
+					if r := recover(); r != nil {
+						nPanics.Add(1)
+						fail(fmerr.NewPanic(fmerr.StageDetect,
+							fmt.Sprintf("baseline for pattern %d", cur), r))
+					}
+				}()
+				for {
+					pi := int(pcursor.Add(1)) - 1
+					if pi >= hi || wctx.Err() != nil {
+						return
+					}
+					cur = pi
+					t0 := time.Now()
+					if baselines[pi-lo] == nil {
+						baselines[pi-lo] = e.AcquireBaseline()
+					}
+					if err := e.BaselineInto(wctx, patterns[pi], baselines[pi-lo]); err != nil {
+						fail(err)
+						return
+					}
+					busyNs.Add(int64(time.Since(t0)))
+				}
+			}()
+		}
+		wg.Wait()
+		if failed() {
+			break
+		}
+
+		// Phase B: fault shards × chunk patterns over the cached
+		// baselines. Each worker owns one scratch arena and one Stats.
+		var scursor atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// curFault/curPat track the work item for panic attribution.
+				curFault, curPat := -1, -1
+				defer func() {
+					if r := recover(); r != nil {
+						nPanics.Add(1)
+						item := fmt.Sprintf("pattern %d", curPat)
+						if curFault >= 0 {
+							item = fmt.Sprintf("fault %s under pattern %d",
+								faults[curFault].Injection(cfg.Delta), curPat)
+						}
+						fail(fmerr.NewPanic(fmerr.StageDetect, item, r))
+					}
+				}()
+				sc := e.NewScratch()
+				var st sim.Stats
+				sims, hits, skipped := 0, 0, 0
+				defer func() {
+					nSims.Add(int64(sims))
+					nDetections.Add(int64(hits))
+					nSkipped.Add(int64(skipped))
+					statsMu.Lock()
+					simStats.Add(st)
+					statsMu.Unlock()
+				}()
+				pairs := 0
+				for {
+					si := int(scursor.Add(1)) - 1
+					if si >= len(shards) {
+						return
+					}
+					t0 := time.Now()
+					for fi := shards[si].lo; fi < shards[si].hi; fi++ {
+						f := faults[fi]
+						curFault, curPat = fi, -1
+						if !cfg.SlowSim && !e.C.ReachesTap(f.Gate) {
+							skipped += hi - lo
+							continue
+						}
+						inj := f.Injection(cfg.Delta)
+						for pi := lo; pi < hi; pi++ {
+							if pairs&63 == 0 && wctx.Err() != nil {
+								fail(fmerr.Wrap(fmerr.StageDetect, "run", wctx.Err()))
+								busyNs.Add(int64(time.Since(t0)))
+								return
+							}
+							pairs++
+							curPat = pi
+							if testHookPanic != nil {
+								testHookPanic(f, pi)
+							}
+							sims++
+							var dets []sim.Detection
+							if cfg.SlowSim {
+								dets = e.FaultSimNaive(baselines[pi-lo], inj, horizon)
+							} else {
+								dets = e.FaultSimScratch(baselines[pi-lo], inj, horizon, sc, &st)
+							}
+							if len(dets) == 0 {
+								continue
+							}
+							var ff, sr interval.Set
+							for _, d := range dets {
+								diff := d.Diff.FilterShort(cfg.Glitch)
+								if diff.Empty() {
+									continue
+								}
+								ff = ff.Union(diff)
+								if placement != nil && placement.Covers(d.Tap) {
+									sr = sr.Union(diff)
+								}
+							}
+							if ff.Empty() && sr.Empty() {
+								continue
+							}
+							perFault[fi] = append(perFault[fi], PatternRange{Pattern: pi, FF: ff, SR: sr})
+							hits++
+						}
+					}
+					busyNs.Add(int64(time.Since(t0)))
+				}
+			}()
+		}
+		wg.Wait()
+		if failed() {
+			break
+		}
+	}
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, err
 	}
 	// No worker failed; a cancelled parent context still aborts the run.
 	if err := ctx.Err(); err != nil {
@@ -326,19 +456,7 @@ dispatch:
 
 	out := make([]FaultData, len(faults))
 	for fi, f := range faults {
-		out[fi].Fault = f
-		m := results[fi]
-		if len(m) == 0 {
-			continue
-		}
-		pis := make([]int, 0, len(m))
-		for pi := range m {
-			pis = append(pis, pi)
-		}
-		sortInts(pis)
-		for _, pi := range pis {
-			out[fi].Per = append(out[fi].Per, PatternRange{Pattern: pi, FF: m[pi].ff, SR: m[pi].sr})
-		}
+		out[fi] = FaultData{Fault: f, Per: perFault[fi]}
 	}
 	return out, nil
 }
@@ -346,14 +464,4 @@ dispatch:
 func isPanicErr(err error) bool {
 	var pe *fmerr.PanicError
 	return errors.As(err, &pe)
-}
-
-func sortInts(a []int) {
-	// Insertion sort suffices: pattern hit lists are short and nearly
-	// sorted (workers process patterns in dispatch order).
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j-1] > a[j]; j-- {
-			a[j-1], a[j] = a[j], a[j-1]
-		}
-	}
 }

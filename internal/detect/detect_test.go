@@ -3,6 +3,7 @@ package detect
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -310,5 +311,56 @@ func TestObservationWindow(t *testing.T) {
 	}
 	if tunit.Time(0) != 0 {
 		t.Fatal()
+	}
+}
+
+// TestWorkersClamped pins the Workers config to [1, GOMAXPROCS]: absurd
+// values must neither deadlock nor change the result.
+func TestWorkersClamped(t *testing.T) {
+	maxp := runtime.GOMAXPROCS(0)
+	cases := map[int]int{
+		-7:       maxp,
+		0:        maxp,
+		1:        1,
+		maxp:     maxp,
+		maxp + 9: maxp,
+		1 << 20:  maxp,
+	}
+	for in, want := range cases {
+		if got := clampWorkers(in); got != want {
+			t.Errorf("clampWorkers(%d) = %d, want %d", in, got, want)
+		}
+	}
+
+	e, placement, cfg, faults, pats := testbed(t)
+	ref, err := Run(context.Background(), e, placement, faults, pats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{-7, 1 << 20} {
+		cfg := cfg
+		cfg.Workers = w
+		done := make(chan struct{})
+		var data []FaultData
+		go func() {
+			defer close(done)
+			data, err = Run(context.Background(), e, placement, faults, pats, cfg)
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("Workers=%d: run did not finish (deadlock?)", w)
+		}
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		if len(data) != len(ref) {
+			t.Fatalf("Workers=%d changed the result size", w)
+		}
+		for i := range data {
+			if len(data[i].Per) != len(ref[i].Per) {
+				t.Fatalf("Workers=%d changed fault %d detections", w, i)
+			}
+		}
 	}
 }

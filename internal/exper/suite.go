@@ -101,6 +101,9 @@ type SuiteConfig struct {
 	SolverBudget time.Duration
 	// Workers bounds simulation goroutines (0 = GOMAXPROCS).
 	Workers int
+	// SlowSim forces the naive fault-simulation reference engine
+	// (differential debugging escape hatch; see detect.Config.SlowSim).
+	SlowSim bool
 	// Names restricts the suite (empty = all twelve circuits).
 	Names []string
 }

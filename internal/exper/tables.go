@@ -44,6 +44,7 @@ func RunCircuit(ctx context.Context, spec Spec, cfg SuiteConfig) (*Run, error) {
 		FaultSampleK: sampleK,
 		ATPGSeed:     spec.Seed,
 		Workers:      cfg.Workers,
+		SlowSim:      cfg.SlowSim,
 		SolverBudget: cfg.SolverBudget,
 	})
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"fastmon/internal/cell"
 	"fastmon/internal/circuit"
@@ -44,7 +45,8 @@ func (in Injection) String() string {
 
 // Engine simulates one annotated circuit. It caches the tap table and the
 // per-gate tap observers so that fault simulation touches only the fanout
-// cone of the injection site.
+// cone of the injection site, and pools the scratch arenas and baseline
+// buffers of the event-driven fast path.
 type Engine struct {
 	C        *circuit.Circuit
 	A        *cell.Annotation
@@ -52,6 +54,9 @@ type Engine struct {
 
 	taps       []circuit.Tap
 	tapsByGate map[int][]int // observed gate -> tap indices
+
+	scratchPool sync.Pool // *Scratch
+	basePool    sync.Pool // []Waveform, len == len(C.Gates)
 }
 
 // NewEngine builds a simulation engine; the inertial pulse threshold comes
@@ -87,13 +92,25 @@ func (e *Engine) Baseline(p Pattern) ([]Waveform, error) {
 
 // BaselineContext is Baseline with cancellation: the context is polled
 // every few gates of the topological evaluation so a cancelled caller
-// stops mid-circuit instead of after it.
+// stops mid-circuit instead of after it. The returned slice is freshly
+// allocated and owned by the caller; hot loops that recycle buffers use
+// AcquireBaseline/BaselineInto instead.
 func (e *Engine) BaselineContext(ctx context.Context, p Pattern) ([]Waveform, error) {
+	wf := make([]Waveform, len(e.C.Gates))
+	if err := e.baselineInto(ctx, p, wf); err != nil {
+		return nil, err
+	}
+	return wf, nil
+}
+
+func (e *Engine) baselineInto(ctx context.Context, p Pattern, wf []Waveform) error {
 	src := e.C.Sources()
 	if len(p.V1) != len(src) || len(p.V2) != len(src) {
-		return nil, fmt.Errorf("sim: pattern has %d/%d values for %d sources", len(p.V1), len(p.V2), len(src))
+		return fmt.Errorf("sim: pattern has %d/%d values for %d sources", len(p.V1), len(p.V2), len(src))
 	}
-	wf := make([]Waveform, len(e.C.Gates))
+	if len(wf) != len(e.C.Gates) {
+		return fmt.Errorf("sim: baseline buffer has %d slots for %d gates", len(wf), len(e.C.Gates))
+	}
 	for i, id := range src {
 		wf[id] = Step(p.V1[i], p.V2[i], e.launchTime(id))
 	}
@@ -101,7 +118,7 @@ func (e *Engine) BaselineContext(ctx context.Context, p Pattern) ([]Waveform, er
 	for n, id := range e.C.Topo() {
 		if n&255 == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, fmerr.Wrap(fmerr.StageSim, "baseline", err)
+				return fmerr.Wrap(fmerr.StageSim, "baseline", err)
 			}
 		}
 		g := &e.C.Gates[id]
@@ -111,7 +128,7 @@ func (e *Engine) BaselineContext(ctx context.Context, p Pattern) ([]Waveform, er
 		}
 		wf[id] = EvalGate(g.Kind, ins, e.A.Delay[id], e.MinPulse)
 	}
-	return wf, nil
+	return nil
 }
 
 // Detection is the result of simulating one fault under one pattern: the
@@ -126,7 +143,24 @@ type Detection struct {
 // waveforms and returns the detection intervals at every observation point
 // the fault reaches, clipped to [0, horizon). The baseline slice must come
 // from Baseline on the same engine.
+//
+// The implementation is event-driven: only the injection site is seeded,
+// and recomputation propagates through a level-ordered worklist that stops
+// as soon as a gate's recomputed waveform equals its baseline. Gates the
+// fault effect never reaches are never evaluated. FaultSimNaive is the
+// slow reference it is differentially tested against.
 func (e *Engine) FaultSim(base []Waveform, inj Injection, horizon tunit.Time) []Detection {
+	sc := e.getScratch()
+	dets := e.FaultSimScratch(base, inj, horizon, sc, nil)
+	e.putScratch(sc)
+	return dets
+}
+
+// FaultSimScratch is FaultSim with a caller-owned scratch arena and
+// optional work counters: the detection-range driver gives every worker
+// one Scratch and one Stats so the hot loop performs no per-fault
+// allocation and no atomic traffic.
+func (e *Engine) FaultSimScratch(base []Waveform, inj Injection, horizon tunit.Time, sc *Scratch, st *Stats) []Detection {
 	g := inj.Gate
 	gate := &e.C.Gates[g]
 
@@ -135,54 +169,93 @@ func (e *Engine) FaultSim(base []Waveform, inj Injection, horizon tunit.Time) []
 	case inj.Pin < 0:
 		fw = base[g].DelayTransitions(inj.Delta, inj.Rising).FilterPulses(e.MinPulse)
 	default:
-		if inj.Pin >= len(gate.Fanin) {
+		if inj.Pin >= len(gate.Fanin) || gate.Kind == circuit.Input || gate.Kind == circuit.DFF {
 			return nil
 		}
-		ins := make([]Waveform, len(gate.Fanin))
-		for p, f := range gate.Fanin {
-			ins[p] = base[f]
+		ins := sc.ins[:0]
+		for _, f := range gate.Fanin {
+			ins = append(ins, base[f])
 		}
 		ins[inj.Pin] = ins[inj.Pin].DelayTransitions(inj.Delta, inj.Rising)
+		sc.ins = ins[:0]
 		fw = EvalGate(gate.Kind, ins, e.A.Delay[g], e.MinPulse)
 	}
 	if fw.Equal(base[g]) {
+		if st != nil {
+			st.EarlyExits++
+		}
 		return nil
 	}
+	sc.markDirty(g, fw)
 
-	faulty := map[int]Waveform{g: fw}
-	for _, id := range e.C.FanoutCone(g) {
-		cg := &e.C.Gates[id]
-		touched := false
-		for _, f := range cg.Fanin {
-			if _, ok := faulty[f]; ok {
-				touched = true
-				break
+	// Seed the worklist with the fanouts of the injection site and drain
+	// it in level order. A gate's fanouts always sit on strictly higher
+	// levels, so one ascending sweep over the buckets processes every gate
+	// after all of its disturbed fanins — each gate is evaluated at most
+	// once.
+	pending := 0
+	minLvl := len(sc.buckets)
+	push := func(from int) {
+		for _, fo := range e.C.Gates[from].Fanout {
+			if e.C.Gates[fo].Kind == circuit.DFF || sc.queued[fo] {
+				continue
 			}
-		}
-		if !touched {
-			continue
-		}
-		ins := make([]Waveform, len(cg.Fanin))
-		for p, f := range cg.Fanin {
-			if w, ok := faulty[f]; ok {
-				ins[p] = w
-			} else {
-				ins[p] = base[f]
+			sc.queued[fo] = true
+			lvl := e.C.Level(fo)
+			sc.buckets[lvl] = append(sc.buckets[lvl], fo)
+			if lvl < minLvl {
+				minLvl = lvl
 			}
-		}
-		nw := EvalGate(cg.Kind, ins, e.A.Delay[id], e.MinPulse)
-		if !nw.Equal(base[id]) {
-			faulty[id] = nw
+			pending++
 		}
 	}
+	push(g)
+	evaluated := 0
+	for lvl := minLvl; lvl < len(sc.buckets) && pending > 0; lvl++ {
+		bucket := sc.buckets[lvl]
+		for _, id := range bucket {
+			sc.queued[id] = false
+			pending--
+			evaluated++
+			cg := &e.C.Gates[id]
+			ins := sc.ins[:0]
+			for _, f := range cg.Fanin {
+				if sc.dirty[f] {
+					ins = append(ins, sc.faulty[f])
+				} else {
+					ins = append(ins, base[f])
+				}
+			}
+			sc.ins = ins[:0]
+			nw := EvalGate(cg.Kind, ins, e.A.Delay[id], e.MinPulse)
+			if nw.Equal(base[id]) {
+				if st != nil {
+					st.Converged++
+				}
+				continue
+			}
+			if st != nil {
+				st.Events++
+			}
+			sc.markDirty(id, nw)
+			push(id)
+		}
+		sc.buckets[lvl] = bucket[:0]
+	}
+	if st != nil {
+		st.Pruned += int64(len(e.C.FanoutCone(g)) - evaluated)
+	}
 
+	// Only gates that still differ from the baseline can be detected;
+	// everything outside sc.touched is bit-identical to the fault-free
+	// simulation by construction.
 	var out []Detection
-	for fg, w := range faulty {
+	for _, fg := range sc.touched {
 		tapIdxs, ok := e.tapsByGate[fg]
 		if !ok {
 			continue
 		}
-		diff := base[fg].Diff(w, horizon)
+		diff := base[fg].Diff(sc.faulty[fg], horizon)
 		if diff.Empty() {
 			continue
 		}
@@ -190,6 +263,7 @@ func (e *Engine) FaultSim(base []Waveform, inj Injection, horizon tunit.Time) []
 			out = append(out, Detection{Tap: ti, Diff: diff})
 		}
 	}
+	sc.reset()
 	sort.Slice(out, func(i, j int) bool { return out[i].Tap < out[j].Tap })
 	return out
 }

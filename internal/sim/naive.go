@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fastmon/internal/circuit"
+	"fastmon/internal/tunit"
+)
+
+// FaultSimNaive simulates the injection by fully re-simulating the entire
+// circuit in topological order with the fault applied, then comparing
+// every observation point against the baseline. It shares no propagation
+// machinery with the event-driven FaultSim — it is the deliberately simple
+// reference implementation the differential harness locks the fast path
+// to, and the engine behind detect.Config.SlowSim.
+//
+// Both engines are exact over the same waveform algebra, so their outputs
+// are bit-identical: gates outside the disturbed region recompute to
+// exactly their baseline waveform because EvalGate is a pure function of
+// the input waveforms.
+func (e *Engine) FaultSimNaive(base []Waveform, inj Injection, horizon tunit.Time) []Detection {
+	g := inj.Gate
+	gate := &e.C.Gates[g]
+	if inj.Pin >= 0 && (inj.Pin >= len(gate.Fanin) || gate.Kind == circuit.Input || gate.Kind == circuit.DFF) {
+		return nil
+	}
+
+	wf := make([]Waveform, len(e.C.Gates))
+	for _, id := range e.C.Sources() {
+		w := base[id]
+		// An output fault on a source signal (never produced by the fault
+		// universe, but accepted by the Injection API) delays the launch
+		// edge itself.
+		if id == g && inj.Pin < 0 {
+			w = w.DelayTransitions(inj.Delta, inj.Rising).FilterPulses(e.MinPulse)
+		}
+		wf[id] = w
+	}
+	ins := make([]Waveform, 0, 8)
+	for _, id := range e.C.Topo() {
+		cg := &e.C.Gates[id]
+		ins = ins[:0]
+		for p, f := range cg.Fanin {
+			w := wf[f]
+			if id == g && p == inj.Pin {
+				w = w.DelayTransitions(inj.Delta, inj.Rising)
+			}
+			ins = append(ins, w)
+		}
+		out := EvalGate(cg.Kind, ins, e.A.Delay[id], e.MinPulse)
+		if id == g && inj.Pin < 0 {
+			out = out.DelayTransitions(inj.Delta, inj.Rising).FilterPulses(e.MinPulse)
+		}
+		wf[id] = out
+	}
+
+	var dets []Detection
+	for ti, tap := range e.taps {
+		diff := base[tap.Gate].Diff(wf[tap.Gate], horizon)
+		if diff.Empty() {
+			continue
+		}
+		dets = append(dets, Detection{Tap: ti, Diff: diff})
+	}
+	return dets
+}
