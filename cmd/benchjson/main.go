@@ -1,15 +1,23 @@
 // Command benchjson converts `go test -bench -json` output into a compact
 // machine-readable benchmark report. It reads the test2json event stream
-// (or plain -bench text) from stdin, extracts every benchmark result line,
-// and writes a JSON document with per-benchmark numbers plus the
-// event-vs-naive speedups of paired sub-benchmarks:
+// (or plain -bench text) from stdin — possibly covering several packages
+// in one run — extracts every benchmark result line, and writes a JSON
+// document with per-benchmark numbers plus the speedups of paired
+// sub-benchmarks:
 //
 //	go test -run '^$' -bench 'BenchmarkDetect|BenchmarkFaultSim' -json \
 //	    ./internal/sim | benchjson -o BENCH_detect.json
+//	go test -run '^$' -bench 'BenchmarkSetCover|BenchmarkScheduleBuild' -json \
+//	    ./internal/ilp ./internal/schedule | benchjson -o BENCH_schedule.json
 //
-// Any benchmark family with /event and /naive variants (BenchmarkDetect,
-// BenchmarkFaultSim) gets a speedup entry. CI uploads the resulting
-// BENCH_detect.json as a build artifact.
+// Two pairings are recognized: /event vs /naive variants (the fault-
+// simulation engines; speedup = naive/event) and /parallel vs /serial
+// variants (the worker-pool solvers; speedup = serial/parallel). When the
+// stream contains a single package the report keeps the original
+// single-package shape (top-level "pkg"); with several packages each
+// result is tagged with its package and speedup keys are prefixed with
+// the package base name. CI uploads the resulting files as build
+// artifacts.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path"
 	"regexp"
 	"strconv"
 	"strings"
@@ -31,7 +40,10 @@ type event struct {
 
 // Result is one benchmark line.
 type Result struct {
-	Name        string  `json:"name"`
+	Name string `json:"name"`
+	// Pkg is the import path the result came from; set only when the
+	// input stream covered more than one package.
+	Pkg         string  `json:"pkg,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
@@ -40,12 +52,17 @@ type Result struct {
 
 // Report is the emitted document.
 type Report struct {
-	GOOS       string             `json:"goos,omitempty"`
-	GOARCH     string             `json:"goarch,omitempty"`
-	CPU        string             `json:"cpu,omitempty"`
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Package is set when the stream covered exactly one package;
+	// Packages lists them (in stream order) when there were several.
 	Package    string             `json:"pkg,omitempty"`
+	Packages   []string           `json:"pkgs,omitempty"`
 	Benchmarks []Result           `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"speedups,omitempty"`
+
+	curPkg string // package of the lines being parsed right now
 }
 
 // benchLine matches a gotest benchmark result, e.g.
@@ -65,14 +82,20 @@ func parseLine(line string, rep *Report) {
 		rep.CPU = strings.TrimPrefix(line, "cpu: ")
 		return
 	case strings.HasPrefix(line, "pkg: "):
-		rep.Package = strings.TrimPrefix(line, "pkg: ")
+		rep.curPkg = strings.TrimPrefix(line, "pkg: ")
+		for _, p := range rep.Packages {
+			if p == rep.curPkg {
+				return
+			}
+		}
+		rep.Packages = append(rep.Packages, rep.curPkg)
 		return
 	}
 	m := benchLine.FindStringSubmatch(line)
 	if m == nil {
 		return
 	}
-	r := Result{Name: m[1]}
+	r := Result{Name: m[1], Pkg: rep.curPkg}
 	r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
 	r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
 	rest := strings.Fields(m[4])
@@ -91,24 +114,60 @@ func parseLine(line string, rep *Report) {
 	rep.Benchmarks = append(rep.Benchmarks, r)
 }
 
-// speedups derives naive/event ratios for every benchmark family that has
-// both variants.
+// finalize collapses the package bookkeeping: a single-package stream
+// keeps the original report shape (top-level "pkg", untagged results),
+// a multi-package merge tags every result instead.
+func (rep *Report) finalize() {
+	if len(rep.Packages) <= 1 {
+		if len(rep.Packages) == 1 {
+			rep.Package = rep.Packages[0]
+		}
+		rep.Packages = nil
+		for i := range rep.Benchmarks {
+			rep.Benchmarks[i].Pkg = ""
+		}
+	}
+	rep.Speedups = speedups(rep.Benchmarks)
+}
+
+// pairings maps a variant suffix to its baseline counterpart; the speedup
+// is baseline time over variant time.
+var pairings = []struct{ fast, base string }{
+	{"/event", "/naive"},     // fault simulation: event-driven vs full resim
+	{"/parallel", "/serial"}, // worker-pool solvers vs single-threaded
+}
+
+// speedups derives baseline/variant ratios for every benchmark family
+// that has both halves of a recognized pair. Families are matched within
+// their package; keys are prefixed with the package base name when the
+// report spans several packages.
 func speedups(results []Result) map[string]float64 {
 	byName := map[string]float64{}
+	multi := false
 	for _, r := range results {
-		byName[r.Name] = r.NsPerOp
+		byName[r.Pkg+"\x00"+r.Name] = r.NsPerOp
+		if r.Pkg != "" {
+			multi = true
+		}
 	}
 	out := map[string]float64{}
-	for name, ev := range byName {
-		base, ok := strings.CutSuffix(name, "/event")
-		if !ok {
-			continue
+	for key, fastNs := range byName {
+		pkg, name, _ := strings.Cut(key, "\x00")
+		for _, p := range pairings {
+			family, ok := strings.CutSuffix(name, p.fast)
+			if !ok {
+				continue
+			}
+			baseNs, ok := byName[pkg+"\x00"+family+p.base]
+			if !ok || fastNs <= 0 {
+				continue
+			}
+			label := family
+			if multi && pkg != "" {
+				label = path.Base(pkg) + "." + family
+			}
+			out[label] = baseNs / fastNs
 		}
-		nv, ok := byName[base+"/naive"]
-		if !ok || ev <= 0 {
-			continue
-		}
-		out[base] = nv / ev
 	}
 	if len(out) == 0 {
 		return nil
@@ -145,7 +204,7 @@ func run(out string) error {
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark results on stdin")
 	}
-	rep.Speedups = speedups(rep.Benchmarks)
+	rep.finalize()
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

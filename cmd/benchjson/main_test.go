@@ -34,3 +34,62 @@ func TestSpeedups(t *testing.T) {
 		t.Fatalf("speedups = %v, want BenchmarkDetect:2.5 only", got)
 	}
 }
+
+func TestMultiPackageMerge(t *testing.T) {
+	var rep Report
+	parseLine("goos: linux", &rep)
+	parseLine("pkg: fastmon/internal/ilp", &rep)
+	parseLine("BenchmarkSetCover/serial-8 \t 10\t 90000000 ns/op", &rep)
+	parseLine("BenchmarkSetCover/parallel-8 \t 30\t 30000000 ns/op", &rep)
+	parseLine("ok  \tfastmon/internal/ilp\t2.1s", &rep)
+	parseLine("pkg: fastmon/internal/schedule", &rep)
+	parseLine("BenchmarkScheduleBuild/serial-8 \t 5\t 200000000 ns/op", &rep)
+	parseLine("BenchmarkScheduleBuild/parallel-8 \t 10\t 50000000 ns/op", &rep)
+	rep.finalize()
+	if rep.Package != "" || len(rep.Packages) != 2 {
+		t.Fatalf("package bookkeeping: pkg=%q pkgs=%v", rep.Package, rep.Packages)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[0].Pkg != "fastmon/internal/ilp" ||
+		rep.Benchmarks[3].Pkg != "fastmon/internal/schedule" {
+		t.Fatalf("results not tagged with their package: %+v", rep.Benchmarks)
+	}
+	if got := rep.Speedups["ilp.BenchmarkSetCover"]; got != 3 {
+		t.Fatalf("ilp speedup = %v, want 3", got)
+	}
+	if got := rep.Speedups["schedule.BenchmarkScheduleBuild"]; got != 4 {
+		t.Fatalf("schedule speedup = %v, want 4", got)
+	}
+}
+
+func TestSinglePackageKeepsLegacyShape(t *testing.T) {
+	var rep Report
+	parseLine("pkg: fastmon/internal/sim", &rep)
+	parseLine("BenchmarkDetect/event-8 \t 10\t 100 ns/op", &rep)
+	parseLine("BenchmarkDetect/naive-8 \t 10\t 250 ns/op", &rep)
+	rep.finalize()
+	if rep.Package != "fastmon/internal/sim" || rep.Packages != nil {
+		t.Fatalf("single package must keep the legacy shape: %+v", rep)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Pkg != "" {
+			t.Fatalf("single-package results must stay untagged: %+v", b)
+		}
+	}
+	if got := rep.Speedups["BenchmarkDetect"]; got != 2.5 {
+		t.Fatalf("speedup = %v, want 2.5", got)
+	}
+}
+
+func TestSerialParallelPairing(t *testing.T) {
+	got := speedups([]Result{
+		{Name: "BenchmarkSetCover/serial", NsPerOp: 600},
+		{Name: "BenchmarkSetCover/parallel", NsPerOp: 200},
+		{Name: "BenchmarkSetCover/other", NsPerOp: 1},
+	})
+	if len(got) != 1 || got["BenchmarkSetCover"] != 3 {
+		t.Fatalf("speedups = %v, want BenchmarkSetCover:3 only", got)
+	}
+}

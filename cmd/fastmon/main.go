@@ -35,6 +35,7 @@ func main() {
 		sample    = flag.Int("sample", 0, "fault sampling stride (0 = automatic)")
 		budget    = flag.Duration("budget", 10*time.Second, "time budget per exact covering solve")
 		seed      = flag.Int64("seed", 1, "ATPG seed")
+		workers   = flag.Int("workers", 0, "goroutines for every parallel stage: fault simulation and the covering solvers (0 = all CPUs)")
 		patsOut   = flag.String("write-patterns", "", "write the generated pattern set to this file")
 		verbose   = flag.Bool("v", false, "print per-period schedule details and stage spans")
 
@@ -71,7 +72,7 @@ func main() {
 	ctx = fastmon.WithObserver(ctx, fastmon.NewObserver(logger))
 
 	code := 0
-	if err := run(ctx, *benchPath, *vlogPath, *topName, *sdfPath, *genName, *scale, *method, *coverage, *sample, *budget, *seed, *patsOut, *verbose); err != nil {
+	if err := run(ctx, *benchPath, *vlogPath, *topName, *sdfPath, *genName, *scale, *method, *coverage, *sample, *budget, *seed, *workers, *patsOut, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "fastmon:", err)
 		code = 1
 	}
@@ -84,7 +85,7 @@ func main() {
 }
 
 func run(ctx context.Context, benchPath, vlogPath, topName, sdfPath, genName string, scale float64, methodName string,
-	coverage float64, sample int, budget time.Duration, seed int64, patsOut string, verbose bool) error {
+	coverage float64, sample int, budget time.Duration, seed int64, workers int, patsOut string, verbose bool) error {
 
 	lib := fastmon.NanGate45()
 	var c *fastmon.Circuit
@@ -149,7 +150,7 @@ func run(ctx context.Context, benchPath, vlogPath, topName, sdfPath, genName str
 		return fmt.Errorf("unknown method %q", methodName)
 	}
 
-	cfg := fastmon.Config{FaultSampleK: sample, ATPGSeed: seed, SolverBudget: budget}
+	cfg := fastmon.Config{FaultSampleK: sample, ATPGSeed: seed, SolverBudget: budget, Workers: workers}
 	start := time.Now()
 	flow, err := fastmon.RunAnnotated(ctx, c, lib, annot, cfg)
 	if err != nil {

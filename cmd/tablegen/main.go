@@ -68,6 +68,7 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "directory for per-circuit result checkpoints")
 		resume   = flag.Bool("resume", false, "reuse completed circuits from -checkpoint DIR")
 		slowsim  = flag.Bool("slowsim", false, "use the naive full-resimulation fault simulator (differential debugging)")
+		workers  = flag.Int("workers", 0, "goroutines for every parallel stage: concurrent circuits, fault simulation and the covering solvers (0 = all CPUs)")
 
 		verbose    = flag.Bool("v", false, "log per-stage spans and telemetry to stderr")
 		jsonLogs   = flag.Bool("json-logs", false, "emit logs as JSON lines (machine-readable)")
@@ -87,7 +88,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tablegen: -resume requires -checkpoint DIR")
 		os.Exit(2)
 	}
-	cfg := exper.SuiteConfig{Scale: *scale, MaxFaults: *maxF, SolverBudget: *budget, SlowSim: *slowsim}
+	cfg := exper.SuiteConfig{Scale: *scale, MaxFaults: *maxF, SolverBudget: *budget, SlowSim: *slowsim, Workers: *workers}
 	if *circuits != "" {
 		cfg.Names = strings.Split(*circuits, ",")
 	}

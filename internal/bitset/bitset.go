@@ -143,3 +143,30 @@ func (s *Set) Clear() {
 		s.words[i] = 0
 	}
 }
+
+// CopyFrom overwrites s with the contents of o, reusing s's backing
+// storage when it is large enough. It lets pooled scratch sets stand in
+// for Clone on hot paths (the covering presolve re-masks every column
+// per round) without re-allocating per call.
+func (s *Set) CopyFrom(o *Set) {
+	if cap(s.words) < len(o.words) {
+		s.words = make([]uint64, len(o.words))
+	}
+	s.words = s.words[:len(o.words)]
+	copy(s.words, o.words)
+	s.n = o.n
+}
+
+// Fingerprint folds the set into a 64-bit signature with the filter
+// property a ⊆ b ⟹ a.Fingerprint() &^ b.Fingerprint() == 0: bit k of the
+// signature is set iff the set holds some element ≡ k (mod 64). The
+// converse does not hold, so a cleared signature test only rules subset
+// relations out — which is exactly what the dominance presolve needs to
+// skip most column pairs without touching their words.
+func (s *Set) Fingerprint() uint64 {
+	var f uint64
+	for _, w := range s.words {
+		f |= w
+	}
+	return f
+}

@@ -164,3 +164,55 @@ func TestPropDeMorgan(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCopyFrom(t *testing.T) {
+	a := New(200)
+	for _, i := range []int{0, 63, 64, 130, 199} {
+		a.Add(i)
+	}
+	// Copy into a smaller scratch set: storage must grow.
+	s := New(10)
+	s.CopyFrom(a)
+	if !s.Equal(a) || s.Len() != 200 {
+		t.Fatalf("CopyFrom into smaller set: %v (len %d)", s, s.Len())
+	}
+	// Copy into a larger scratch set: capacity reused, contents exact.
+	big := New(1000)
+	big.Add(777)
+	big.CopyFrom(a)
+	if !big.Equal(a) || big.Len() != 200 {
+		t.Fatal("CopyFrom into larger set left stale state")
+	}
+	// Mutating the copy must not touch the source.
+	big.Add(5)
+	if a.Has(5) {
+		t.Fatal("CopyFrom aliases the source words")
+	}
+}
+
+func TestFingerprintSubsetFilter(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		n := 64 + r.Intn(300)
+		b := New(n)
+		for i := 0; i < n/2; i++ {
+			b.Add(r.Intn(n))
+		}
+		// A genuine subset must never be filtered out.
+		a := b.Clone()
+		for i := 0; i < n/4; i++ {
+			a.Remove(r.Intn(n))
+		}
+		return a.Fingerprint()&^b.Fingerprint() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// The filter rejects at least the obvious non-subset.
+	a, b := New(64), New(64)
+	a.Add(3)
+	b.Add(4)
+	if a.Fingerprint()&^b.Fingerprint() == 0 {
+		t.Fatal("disjoint singleton sets share a fingerprint")
+	}
+}

@@ -20,11 +20,21 @@ import (
 	"fastmon/internal/interval"
 	"fastmon/internal/monitor"
 	"fastmon/internal/obs"
+	"fastmon/internal/par"
 	"fastmon/internal/schedule"
 	"fastmon/internal/sim"
 	"fastmon/internal/sta"
 	"fastmon/internal/tunit"
 )
+
+// ClampWorkers resolves a configured worker count to [1, GOMAXPROCS]:
+// zero and negative values mean "use every CPU", larger requests are cut
+// down instead of oversubscribing the scheduler. Every parallel stage —
+// fault simulation (detect), schedule construction (schedule/ilp) and the
+// experiment suite (exper) — applies this same rule; the implementation
+// lives in the dependency-order leaf package internal/par so those
+// packages can share it without importing core.
+func ClampWorkers(n int) int { return par.ClampWorkers(n) }
 
 // Config parameterizes a flow run. The zero value is completed with the
 // paper's evaluation setup by Defaults.
@@ -50,7 +60,9 @@ type Config struct {
 	GlitchScale float64
 	// ATPGSeed drives test generation.
 	ATPGSeed int64
-	// Workers bounds fault-simulation goroutines (0 = GOMAXPROCS).
+	// Workers bounds the goroutine pools of every parallel stage — fault
+	// simulation, the Step-2 schedule fan-out and the branch-and-bound
+	// solvers (0 = GOMAXPROCS; see ClampWorkers).
 	Workers int
 	// SlowSim routes fault simulation through the naive full-resimulation
 	// reference engine instead of the event-driven fast path (differential
@@ -243,6 +255,7 @@ func (f *Flow) ScheduleOptions(m schedule.Method, coverage float64) schedule.Opt
 		Method:       m,
 		Coverage:     coverage,
 		SolverBudget: f.Config.SolverBudget,
+		Workers:      f.Config.Workers,
 	}
 }
 

@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +24,7 @@ import (
 	"fastmon/internal/interval"
 	"fastmon/internal/monitor"
 	"fastmon/internal/obs"
+	"fastmon/internal/par"
 	"fastmon/internal/sim"
 	"fastmon/internal/tunit"
 )
@@ -149,20 +149,6 @@ func (pr PatternRange) CombinedFree(cfg Config, delays []tunit.Time) interval.Se
 // instead of crashing the process. Always nil in production.
 var testHookPanic func(f fault.Fault, pattern int)
 
-// clampWorkers resolves the configured worker count to [1, GOMAXPROCS]:
-// zero and negative values mean "use every CPU", larger requests are cut
-// down instead of oversubscribing the scheduler.
-func clampWorkers(w int) int {
-	max := runtime.GOMAXPROCS(0)
-	if w <= 0 || w > max {
-		w = max
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
-
 // shardRange is a contiguous slice [Lo, Hi) of the fault list.
 type shardRange struct{ lo, hi int }
 
@@ -209,7 +195,7 @@ func shardFaults(faults []fault.Fault, workers int) []shardRange {
 func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
 	patterns []sim.Pattern, cfg Config) ([]FaultData, error) {
 
-	workers := clampWorkers(cfg.Workers)
+	workers := par.ClampWorkers(cfg.Workers)
 	horizon := cfg.Clk + 1
 
 	// Telemetry: per-run atomics (rolled into the shared registry at the

@@ -15,6 +15,7 @@ import (
 	"fastmon/internal/fmerr"
 	"fastmon/internal/interval"
 	"fastmon/internal/monitor"
+	"fastmon/internal/par"
 	"fastmon/internal/sim"
 	"fastmon/internal/sta"
 	"fastmon/internal/tunit"
@@ -327,8 +328,8 @@ func TestWorkersClamped(t *testing.T) {
 		1 << 20:  maxp,
 	}
 	for in, want := range cases {
-		if got := clampWorkers(in); got != want {
-			t.Errorf("clampWorkers(%d) = %d, want %d", in, got, want)
+		if got := par.ClampWorkers(in); got != want {
+			t.Errorf("par.ClampWorkers(%d) = %d, want %d", in, got, want)
 		}
 	}
 

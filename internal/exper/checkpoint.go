@@ -7,10 +7,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastmon/internal/fmerr"
 	"fastmon/internal/obs"
+	"fastmon/internal/par"
 	"fastmon/internal/schedule"
 )
 
@@ -266,12 +269,19 @@ type SuiteProgress func(ev SuiteEvent)
 // RunSuiteCheckpointed drives the configured suite subset with
 // checkpointing. For each circuit it reuses a matching checkpoint entry if
 // one satisfies the request, otherwise it recomputes the circuit and —
-// when dir is non-empty — persists the result before moving on.
+// when dir is non-empty — persists the result before moving on. Circuits
+// run concurrently on a bounded worker pool (SuiteConfig.Workers, default
+// one per CPU); results are always returned in suite/spec order
+// regardless of completion order, checkpoint writes keep their atomic
+// write-then-rename discipline, and progress callbacks are serialized.
 //
-// Closing stop requests a graceful shutdown: the current circuit finishes
-// and is flushed, then the run returns the results so far with a
-// partial-result error (degradation "partial"). Cancelling ctx aborts the
-// current circuit itself. progress may be nil.
+// Closing stop requests a graceful shutdown: no new circuits are
+// dispatched, the in-flight ones finish and are flushed, then the run
+// returns the results so far with a partial-result error (degradation
+// "partial"). Cancelling ctx aborts the in-flight circuits themselves. On
+// a circuit failure the run stops dispatching and reports the error of
+// the lowest-index failed circuit alongside every completed result.
+// progress may be nil.
 func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest, dir string,
 	stop <-chan struct{}, progress SuiteProgress) ([]*CircuitResult, error) {
 
@@ -298,42 +308,97 @@ func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest
 			return false
 		}
 	}
-	var out []*CircuitResult
-	for i, spec := range specs {
-		if stopped() {
-			return out, fmerr.Errorf(fmerr.StageExper, "suite",
-				"stopped after %d of %d circuits (results are partial)", len(out), len(specs))
+	workers := par.ClampWorkers(cfg.Workers)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	o := obs.From(ctx)
+	var (
+		mu       sync.Mutex // guards slots, firstErr/errIdx, progress calls
+		slots    = make([]*CircuitResult, len(specs))
+		next     atomic.Int64
+		inflight atomic.Int64
+		halted   atomic.Bool // stop observed or a circuit failed: no new dispatch
+		firstErr error
+		errIdx   int
+	)
+	recordErr := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
 		}
-		if err := ctx.Err(); err != nil {
-			return out, fmerr.Wrap(fmerr.StageExper, "suite", err)
-		}
-		creq := req
-		if i > 0 {
-			creq.Fig3Steps = 0 // Fig. 3 is evaluated on the first circuit only
-		}
-		if res, ok := cached[spec.Name]; ok && res.Satisfies(creq) {
-			out = append(out, res)
+		mu.Unlock()
+		halted.Store(true)
+	}
+	par.Run(workers, func(int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(specs) || halted.Load() {
+				return
+			}
+			if stopped() {
+				halted.Store(true)
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				recordErr(i, fmerr.Wrap(fmerr.StageExper, "suite", err))
+				return
+			}
+			spec := specs[i]
+			creq := req
+			if i > 0 {
+				creq.Fig3Steps = 0 // Fig. 3 is evaluated on the first circuit only
+			}
+			if res, ok := cached[spec.Name]; ok && res.Satisfies(creq) {
+				mu.Lock()
+				slots[i] = res
+				if progress != nil {
+					progress(SuiteEvent{Index: i, Total: len(specs), Spec: spec, Res: res, Cached: true})
+				}
+				mu.Unlock()
+				continue
+			}
 			if progress != nil {
-				progress(SuiteEvent{Index: i, Total: len(specs), Spec: spec, Res: res, Cached: true})
+				mu.Lock()
+				progress(SuiteEvent{Index: i, Total: len(specs), Spec: spec})
+				mu.Unlock()
 			}
-			continue
-		}
-		if progress != nil {
-			progress(SuiteEvent{Index: i, Total: len(specs), Spec: spec})
-		}
-		res, err := ComputeCircuit(ctx, spec, cfg, creq)
-		if err != nil {
-			return out, fmerr.Wrap(fmerr.StageExper, spec.Name, err)
-		}
-		if dir != "" {
-			if err := SaveCheckpoint(dir, res); err != nil {
-				return out, err
+			o.Gauge("exper.circuits_inflight").Set(float64(inflight.Add(1)))
+			res, err := ComputeCircuit(ctx, spec, cfg, creq)
+			o.Gauge("exper.circuits_inflight").Set(float64(inflight.Add(-1)))
+			if err != nil {
+				recordErr(i, fmerr.Wrap(fmerr.StageExper, spec.Name, err))
+				return
 			}
+			if dir != "" {
+				if err := SaveCheckpoint(dir, res); err != nil {
+					recordErr(i, err)
+					return
+				}
+			}
+			mu.Lock()
+			slots[i] = res
+			if progress != nil {
+				progress(SuiteEvent{Index: i, Total: len(specs), Spec: spec, Res: res})
+			}
+			mu.Unlock()
 		}
-		out = append(out, res)
-		if progress != nil {
-			progress(SuiteEvent{Index: i, Total: len(specs), Spec: spec, Res: res})
+	})
+	out := make([]*CircuitResult, 0, len(specs))
+	for _, r := range slots {
+		if r != nil {
+			out = append(out, r)
 		}
+	}
+	if firstErr != nil {
+		return out, firstErr
+	}
+	if halted.Load() {
+		return out, fmerr.Errorf(fmerr.StageExper, "suite",
+			"stopped after %d of %d circuits (results are partial)", len(out), len(specs))
 	}
 	return out, nil
 }

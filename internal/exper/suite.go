@@ -99,7 +99,9 @@ type SuiteConfig struct {
 	MaxFaults int
 	// SolverBudget bounds each exact covering solve (default 5s).
 	SolverBudget time.Duration
-	// Workers bounds simulation goroutines (0 = GOMAXPROCS).
+	// Workers bounds every parallel stage of the run — concurrent suite
+	// circuits, fault-simulation goroutines, the Step-2 schedule fan-out
+	// and the branch-and-bound solvers (0 = GOMAXPROCS).
 	Workers int
 	// SlowSim forces the naive fault-simulation reference engine
 	// (differential debugging escape hatch; see detect.Config.SlowSim).

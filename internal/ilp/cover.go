@@ -3,9 +3,11 @@ package ilp
 import (
 	"context"
 	"sort"
+	"sync/atomic"
 
 	"fastmon/internal/bitset"
 	"fastmon/internal/fmerr"
+	"fastmon/internal/par"
 )
 
 // CoverResult is the outcome of a covering solve.
@@ -80,12 +82,25 @@ func CoverModel(sets []*bitset.Set, universe *bitset.Set) *Model {
 	return m
 }
 
+// coverTask is one subproblem of the SetCover search: the elements still
+// uncovered on this path and the sub-set indices chosen so far. Each task
+// owns its bitset and slice.
+type coverTask struct {
+	unc *bitset.Set
+	cur []int
+}
+
 // SetCover solves minimum set cover exactly by branch-and-bound with
-// covering presolve. It returns an error when the universe is not
-// coverable. The context is polled at node granularity: an expired
-// deadline (the paper's solver timeout) returns the best incumbent with a
-// nil error; cancellation returns the incumbent together with an error
-// wrapping context.Canceled.
+// covering presolve. The search runs on a work-sharing frontier
+// (Options.Workers, see par.Frontier): workers expand subproblems
+// depth-first and offload sibling subtrees when the pool runs hungry;
+// incumbents are published through an atomic best length plus a
+// lexicographic tie-break, so the returned Selected set is bit-identical
+// for every worker count (see parallel.go). It returns an error when the
+// universe is not coverable. The context is polled at node granularity:
+// an expired deadline (the paper's solver timeout) returns the best
+// incumbent with a nil error; cancellation returns the incumbent together
+// with an error wrapping context.Canceled.
 func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opts Options) (CoverResult, error) {
 	if !Coverable(sets, universe) {
 		return CoverResult{}, fmerr.Errorf(fmerr.StageSolve, "setcover",
@@ -112,6 +127,10 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 		alive[i] = true
 	}
 	var chosen []int
+	// Pooled masked copies for the dominance pass, allocated lazily on
+	// the first pass and refreshed in place (CopyFrom) as uncovered
+	// shrinks — the presolve loop used to clone every set per iteration.
+	var maskPool []*bitset.Set
 
 	// Presolve loop: essential columns and column dominance.
 	for {
@@ -147,29 +166,63 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 			}
 		}
 		// Column dominance (bounded effort): a set whose uncovered part
-		// is a subset of another's can be dropped.
+		// is a subset of another's can be dropped. Columns are ordered by
+		// popcount — a column can only be dominated by one at least as
+		// large — and pairs are screened by a 64-bit signature
+		// (a ⊆ b requires fp(a) &^ fp(b) == 0) before the word-level
+		// subset test runs.
 		aliveIdx := aliveList(alive)
 		if len(aliveIdx) <= 1024 {
-			masked := make(map[int]*bitset.Set, len(aliveIdx))
-			for _, j := range aliveIdx {
-				mcopy := sets[j].Clone()
-				mcopy.And(uncovered)
-				masked[j] = mcopy
+			if maskPool == nil {
+				maskPool = make([]*bitset.Set, len(sets))
 			}
+			type col struct {
+				j   int
+				cnt int
+				fp  uint64
+			}
+			cols := make([]col, 0, len(aliveIdx))
 			for _, j := range aliveIdx {
-				if !alive[j] {
+				m := maskPool[j]
+				if m == nil {
+					m = bitset.New(0)
+					maskPool[j] = m
+				}
+				m.CopyFrom(sets[j])
+				m.And(uncovered)
+				cols = append(cols, col{j: j, cnt: m.Count(), fp: m.Fingerprint()})
+			}
+			sort.Slice(cols, func(a, b int) bool {
+				if cols[a].cnt != cols[b].cnt {
+					return cols[a].cnt < cols[b].cnt
+				}
+				return cols[a].j < cols[b].j
+			})
+			for a := range cols {
+				ca := cols[a]
+				if !alive[ca.j] {
 					continue
 				}
-				for _, k := range aliveIdx {
-					if j == k || !alive[k] {
+				for b := a + 1; b < len(cols); b++ {
+					cb := cols[b]
+					if !alive[cb.j] {
 						continue
 					}
-					if masked[j].SubsetOf(masked[k]) &&
-						(!masked[k].SubsetOf(masked[j]) || j > k) {
-						alive[j] = false
-						changed = true
-						break
+					if ca.fp&^cb.fp != 0 {
+						continue // signature rules out ca ⊆ cb
 					}
+					if !maskPool[ca.j].SubsetOf(maskPool[cb.j]) {
+						continue
+					}
+					if ca.cnt == cb.cnt {
+						// Equal masked sets: keep the smaller index.
+						alive[cb.j] = false
+						changed = true
+						continue
+					}
+					alive[ca.j] = false
+					changed = true
+					break
 				}
 			}
 		}
@@ -207,76 +260,123 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 	if err != nil {
 		return CoverResult{}, err
 	}
-	bestLen := len(incumbent)
-	bestSel := append([]int(nil), incumbent...)
 
 	// Branch on the element with the fewest covering sets; children try
-	// each covering set in decreasing gain order.
-	cur := make([]int, 0, bestLen)
-	stopped := stopNone
-	var dfs func(unc *bitset.Set)
-	dfs = func(unc *bitset.Set) {
-		if stopped != stopNone {
-			return
-		}
-		res.Nodes++
-		if res.Nodes&pollMask == 0 {
-			if s := checkCtx(ctx); s != stopNone {
-				stopped = s
+	// each covering set in decreasing gain order (index ascending on
+	// ties). Subtrees are pruned only when strictly worse than the
+	// incumbent so every optimal cover stays reachable and the bestList
+	// tie-break makes the outcome interleaving-independent.
+	workers := par.ClampWorkers(opts.Workers)
+	best := newBestList(incumbent, 0)
+	var (
+		nodes, incumbents, stolen atomic.Int64
+		stop                      stopFlag
+	)
+	fr := par.NewFrontier[coverTask](workers)
+	fr.Push(0, coverTask{unc: uncovered.Clone()})
+	par.Run(workers, func(id int) {
+		defer func() {
+			// A worker dying mid-search must not strand its peers in Pop.
+			if r := recover(); r != nil {
+				fr.Abort()
+				panic(r)
+			}
+		}()
+		var dfs func(unc *bitset.Set, cur []int)
+		dfs = func(unc *bitset.Set, cur []int) {
+			if stop.get() != stopNone {
 				return
 			}
-		}
-		if opts.MaxNodes > 0 && res.Nodes > opts.MaxNodes {
-			stopped = stopBudget
-			return
-		}
-		if unc.Empty() {
-			if len(cur) < bestLen {
-				bestLen = len(cur)
-				bestSel = append(bestSel[:0], cur...)
-				res.Incumbents++
-			}
-			return
-		}
-		if len(cur)+lowerBound(sub, unc) >= bestLen {
-			return
-		}
-		// Pick the uncovered element with fewest alive covering sets.
-		pickE, pickCnt := -1, 1<<30
-		for _, e := range elems {
-			if !unc.Has(e) {
-				continue
-			}
-			cnt := 0
-			for _, si := range coverOf[e] {
-				if sub[si].IntersectionCount(unc) > 0 {
-					cnt++
+			nn := nodes.Add(1)
+			if nn&pollMask == 0 {
+				if s := checkCtx(ctx); s != stopNone {
+					stop.set(s)
+					fr.Abort()
+					return
 				}
 			}
-			if cnt < pickCnt {
-				pickE, pickCnt = e, cnt
-				if cnt <= 1 {
-					break
+			if opts.MaxNodes > 0 && nn > int64(opts.MaxNodes) {
+				stop.set(stopBudget)
+				fr.Abort()
+				return
+			}
+			if unc.Empty() {
+				if best.offer(cur, 0) {
+					incumbents.Add(1)
+				}
+				return
+			}
+			if len(cur)+lowerBound(sub, unc) > best.bound() {
+				return
+			}
+			// Pick the uncovered element with fewest alive covering sets.
+			pickE, pickCnt := -1, 1<<30
+			for _, e := range elems {
+				if !unc.Has(e) {
+					continue
+				}
+				cnt := 0
+				for _, si := range coverOf[e] {
+					if sub[si].IntersectionCount(unc) > 0 {
+						cnt++
+					}
+				}
+				if cnt < pickCnt {
+					pickE, pickCnt = e, cnt
+					if cnt <= 1 {
+						break
+					}
 				}
 			}
+			cands := append([]int(nil), coverOf[pickE]...)
+			sort.Slice(cands, func(a, b int) bool {
+				ga := sub[cands[a]].IntersectionCount(unc)
+				gb := sub[cands[b]].IntersectionCount(unc)
+				if ga != gb {
+					return ga > gb
+				}
+				return cands[a] < cands[b]
+			})
+			if len(cands) > 1 && workers > 1 && fr.Hungry() {
+				// Offload every sibling but the first; pushed in reverse
+				// so the LIFO pool hands them out in serial order.
+				for i := len(cands) - 1; i >= 1; i-- {
+					si := cands[i]
+					nu := unc.Clone()
+					nu.AndNot(sub[si])
+					nc := make([]int, len(cur)+1)
+					copy(nc, cur)
+					nc[len(cur)] = si
+					fr.Push(id, coverTask{unc: nu, cur: nc})
+				}
+				cands = cands[:1]
+			}
+			for _, si := range cands {
+				next := unc.Clone()
+				next.AndNot(sub[si])
+				cur = append(cur, si)
+				dfs(next, cur)
+				cur = cur[:len(cur)-1]
+			}
 		}
-		cands := append([]int(nil), coverOf[pickE]...)
-		sort.Slice(cands, func(a, b int) bool {
-			return sub[cands[a]].IntersectionCount(unc) > sub[cands[b]].IntersectionCount(unc)
-		})
-		for _, si := range cands {
-			next := unc.Clone()
-			next.AndNot(sub[si])
-			cur = append(cur, si)
-			dfs(next)
-			cur = cur[:len(cur)-1]
+		for {
+			t, st, ok := fr.Pop(id)
+			if !ok {
+				return
+			}
+			if st {
+				stolen.Add(1)
+			}
+			dfs(t.unc, t.cur)
 		}
-	}
+	})
+	stopped := stop.get()
 	rootLB := len(chosen) + lowerBound(sub, uncovered)
-	dfs(uncovered.Clone())
+	res.Nodes = int(nodes.Load())
+	res.Incumbents = int(incumbents.Load())
 
 	sel := append([]int(nil), chosen...)
-	for _, si := range bestSel {
+	for _, si := range best.snapshot() {
 		sel = append(sel, aliveIdx[si])
 	}
 	sort.Ints(sel)
@@ -289,6 +389,7 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 		}
 	}
 	recordSolve(ctx, res.Nodes, res.Incumbents, res.Optimal, res.Gap)
+	recordPool(ctx, workers, stolen.Load())
 	if stopped == stopCanceled {
 		return res, fmerr.Wrap(fmerr.StageSolve, "setcover", ctx.Err())
 	}
@@ -350,11 +451,23 @@ func GreedyPartialCover(sets []*bitset.Set, universe *bitset.Set, quota int) ([]
 	return out, nil
 }
 
+// partialTask is one subproblem of the PartialCover search: the next
+// position in the size-ordered set list, the sets chosen so far, and the
+// elements they cover. Each task owns its slice and bitset.
+type partialTask struct {
+	pos     int
+	cur     []int
+	covered *bitset.Set
+	cnt     int
+}
+
 // PartialCover finds a minimum number of sets covering at least quota
 // elements of the universe (the Table III "cov ≥ x%" selection). Solved by
-// include/exclude branch-and-bound with a sum-of-largest-sets bound. The
-// context contract matches SetCover: deadline = soft budget, cancellation
-// = incumbent plus error.
+// include/exclude branch-and-bound with a sum-of-largest-sets bound, run
+// on the same work-sharing frontier and deterministic incumbent
+// discipline as SetCover (Options.Workers; identical Selected for every
+// worker count). The context contract matches SetCover: deadline = soft
+// budget, cancellation = incumbent plus error.
 func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, quota int, opts Options) (CoverResult, error) {
 	res := CoverResult{}
 	if quota <= 0 {
@@ -376,8 +489,6 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 		}
 		return res, nil
 	}
-	bestLen := len(incumbent)
-	bestSel := append([]int(nil), incumbent...)
 
 	// Restrict sets to the universe once.
 	sub := make([]*bitset.Set, len(sets))
@@ -391,69 +502,117 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return sub[order[a]].Count() > sub[order[b]].Count() })
-
-	cur := make([]int, 0, bestLen)
-	covered := bitset.New(universe.Len())
-	stopped := stopNone
-	var dfs func(pos, coveredCnt int)
-	dfs = func(pos, coveredCnt int) {
-		if stopped != stopNone {
-			return
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := sub[order[a]].Count(), sub[order[b]].Count()
+		if ca != cb {
+			return ca > cb
 		}
-		res.Nodes++
-		if res.Nodes&pollMask == 0 {
-			if s := checkCtx(ctx); s != stopNone {
-				stopped = s
+		return order[a] < order[b]
+	})
+
+	workers := par.ClampWorkers(opts.Workers)
+	seedCov := bitset.New(universe.Len())
+	for _, si := range incumbent {
+		seedCov.Or(sub[si])
+	}
+	best := newBestList(incumbent, seedCov.Count())
+	var (
+		nodes, incumbents, stolen atomic.Int64
+		stop                      stopFlag
+	)
+	fr := par.NewFrontier[partialTask](workers)
+	fr.Push(0, partialTask{covered: bitset.New(universe.Len())})
+	par.Run(workers, func(id int) {
+		defer func() {
+			if r := recover(); r != nil {
+				fr.Abort()
+				panic(r)
+			}
+		}()
+		var dfs func(pos int, cur []int, covered *bitset.Set, cnt int)
+		// include recurses into the "take order[pos]" child when it has a
+		// positive marginal gain. An optimal selection never contains a
+		// zero-marginal set (dropping it would shrink the solution), so
+		// the filter cannot hide an optimum from the tie-break.
+		include := func(pos int, cur []int, covered *bitset.Set, cnt int) []int {
+			si := order[pos]
+			marginal := sub[si].Count() - sub[si].IntersectionCount(covered)
+			if marginal <= 0 {
+				return cur
+			}
+			nc := covered.Clone()
+			nc.Or(sub[si])
+			cur = append(cur, si)
+			dfs(pos+1, cur, nc, cnt+marginal)
+			return cur[:len(cur)-1]
+		}
+		dfs = func(pos int, cur []int, covered *bitset.Set, cnt int) {
+			if stop.get() != stopNone {
 				return
 			}
-		}
-		if opts.MaxNodes > 0 && res.Nodes > opts.MaxNodes {
-			stopped = stopBudget
-			return
-		}
-		if coveredCnt >= quota {
-			if len(cur) < bestLen {
-				bestLen = len(cur)
-				bestSel = append(bestSel[:0], cur...)
-				res.Incumbents++
+			nn := nodes.Add(1)
+			if nn&pollMask == 0 {
+				if s := checkCtx(ctx); s != stopNone {
+					stop.set(s)
+					fr.Abort()
+					return
+				}
 			}
-			return
-		}
-		if len(cur)+1 >= bestLen { // any completion costs ≥ len(cur)+1
-			return
-		}
-		if pos >= len(order) {
-			return
-		}
-		// Bound: adding the k largest remaining sets gains at most the
-		// sum of their sizes.
-		deficit := quota - coveredCnt
-		gain, need := 0, 0
-		for i := pos; i < len(order) && gain < deficit; i++ {
-			gain += sub[order[i]].Count()
-			need++
-		}
-		if gain < deficit || len(cur)+need >= bestLen {
-			return
-		}
-		si := order[pos]
-		// Include.
-		marginal := sub[si].Count() - sub[si].IntersectionCount(covered)
-		if marginal > 0 {
-			covered.Or(sub[si])
-			cur = append(cur, si)
-			dfs(pos+1, coveredCnt+marginal)
-			cur = cur[:len(cur)-1]
-			// Undo: recompute covered (cheap enough at these depths).
-			covered.Clear()
-			for _, cj := range cur {
-				covered.Or(sub[cj])
+			if opts.MaxNodes > 0 && nn > int64(opts.MaxNodes) {
+				stop.set(stopBudget)
+				fr.Abort()
+				return
 			}
+			if cnt >= quota {
+				if best.offer(cur, cnt) {
+					incumbents.Add(1)
+				}
+				return
+			}
+			if len(cur)+1 > best.bound() { // any completion costs ≥ len(cur)+1
+				return
+			}
+			if pos >= len(order) {
+				return
+			}
+			// Bound: adding the k largest remaining sets gains at most the
+			// sum of their sizes.
+			deficit := quota - cnt
+			gain, need := 0, 0
+			for i := pos; i < len(order) && gain < deficit; i++ {
+				gain += sub[order[i]].Count()
+				need++
+			}
+			if gain < deficit || len(cur)+need > best.bound() {
+				return
+			}
+			if workers > 1 && fr.Hungry() {
+				// Offload the exclude subtree, recurse include locally
+				// (serial order is include first).
+				fr.Push(id, partialTask{
+					pos:     pos + 1,
+					cur:     append([]int(nil), cur...),
+					covered: covered.Clone(),
+					cnt:     cnt,
+				})
+				include(pos, cur, covered, cnt)
+				return
+			}
+			cur = include(pos, cur, covered, cnt)
+			dfs(pos+1, cur, covered, cnt)
 		}
-		// Exclude.
-		dfs(pos+1, coveredCnt)
-	}
+		for {
+			t, st, ok := fr.Pop(id)
+			if !ok {
+				return
+			}
+			if st {
+				stolen.Add(1)
+			}
+			dfs(t.pos, t.cur, t.covered, t.cnt)
+		}
+	})
+	stopped := stop.get()
 	// Root bound for the exit gap: covering the quota needs at least as
 	// many sets as the largest-first size prefix reaching it.
 	rootLB, gain := 0, 0
@@ -461,18 +620,18 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 		gain += sub[order[i]].Count()
 		rootLB++
 	}
-	dfs(0, 0)
-
-	sort.Ints(bestSel)
-	res.Selected = bestSel
+	res.Nodes = int(nodes.Load())
+	res.Incumbents = int(incumbents.Load())
+	res.Selected = best.snapshot()
 	res.Optimal = stopped == stopNone
 	if !res.Optimal {
 		res.Degradation = fmerr.DegradeIncumbent
-		if total := len(bestSel); total > rootLB && total > 0 {
+		if total := len(res.Selected); total > rootLB && total > 0 {
 			res.Gap = float64(total-rootLB) / float64(total)
 		}
 	}
 	recordSolve(ctx, res.Nodes, res.Incumbents, res.Optimal, res.Gap)
+	recordPool(ctx, workers, stolen.Load())
 	if stopped == stopCanceled {
 		return res, fmerr.Wrap(fmerr.StageSolve, "partialcover", ctx.Err())
 	}

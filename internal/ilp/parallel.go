@@ -1,0 +1,168 @@
+package ilp
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fastmon/internal/obs"
+)
+
+// eps is the float tolerance of the generic solver's incumbent and bound
+// comparisons. Subtrees are pruned only when their bound is strictly worse
+// than the incumbent by more than eps, so equal-value optima stay
+// reachable and the lexicographic tie-break below picks the same one
+// regardless of worker count.
+const eps = 1e-9
+
+// stopFlag is the shared early-stop state of a parallel search. The first
+// reason wins; later calls are no-ops, so a budget expiry and a
+// cancellation racing each other resolve deterministically per run.
+type stopFlag struct{ v atomic.Int32 }
+
+func (s *stopFlag) set(r stopReason) { s.v.CompareAndSwap(0, int32(r)) }
+func (s *stopFlag) get() stopReason  { return stopReason(s.v.Load()) }
+
+// bestList is the shared incumbent of a covering search: an atomic length
+// for lock-free bound reads on the hot pruning path, and a mutex-guarded
+// selection updated under a deterministic total order — shorter wins,
+// equal length prefers the higher score (PartialCover passes the covered
+// count, so equal-size selections that cover more of the universe win;
+// full covers pass a constant), and remaining ties fall back to
+// lexicographic comparison of the sorted index lists. Because pruning only
+// discards subtrees that are strictly worse than the incumbent by length,
+// every minimum-size selection is offered eventually and the final winner
+// is the same for every worker count and interleaving.
+type bestList struct {
+	mu    sync.Mutex
+	n     atomic.Int64
+	sel   []int
+	score int
+}
+
+// newBestList seeds the incumbent, typically with a greedy cover, and its
+// score. The seed must be sorted ascending.
+func newBestList(seed []int, score int) *bestList {
+	b := &bestList{sel: append([]int(nil), seed...), score: score}
+	b.n.Store(int64(len(b.sel)))
+	return b
+}
+
+// bound returns the current incumbent length. A stale (larger) read only
+// weakens pruning; it never changes the final result.
+func (b *bestList) bound() int { return int(b.n.Load()) }
+
+// offer publishes a candidate selection (any order; offer sorts a copy)
+// with its score. It reports whether the candidate replaced the incumbent.
+func (b *bestList) offer(cand []int, score int) bool {
+	if len(cand) > b.bound() {
+		return false
+	}
+	c := append([]int(nil), cand...)
+	sort.Ints(c)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case len(c) < len(b.sel):
+	case len(c) > len(b.sel):
+		return false
+	case score > b.score:
+	case score < b.score:
+		return false
+	case !lexLess(c, b.sel):
+		return false
+	}
+	b.sel = c
+	b.score = score
+	b.n.Store(int64(len(c)))
+	return true
+}
+
+// snapshot returns a copy of the current incumbent selection.
+func (b *bestList) snapshot() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]int(nil), b.sel...)
+}
+
+// lexLess compares two ascending index lists lexicographically; a proper
+// prefix is smaller than its extensions.
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// bestSol is the shared incumbent of the generic 0-1 solver: the best
+// objective value as atomic float bits for lock-free bound reads, and a
+// mutex-guarded assignment vector with the same deterministic tie-break
+// discipline as bestList — strictly smaller value wins, values within eps
+// fall back to lexicographic comparison of the bool vector (false < true).
+type bestSol struct {
+	mu    sync.Mutex
+	bits  atomic.Uint64
+	x     []bool
+	found bool
+}
+
+func newBestSol() *bestSol {
+	b := &bestSol{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// val returns the current incumbent value (possibly stale — only ever an
+// overestimate of the final value, so pruning against it is safe).
+func (b *bestSol) val() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// offer publishes a feasible point and reports whether it replaced the
+// incumbent.
+func (b *bestSol) offer(x []bool, v float64) bool {
+	if v > b.val()+eps {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur := math.Float64frombits(b.bits.Load())
+	take := !b.found || v < cur-eps
+	if !take && v <= cur+eps && lexLessBool(x, b.x) {
+		take = true
+	}
+	if !take {
+		return false
+	}
+	b.x = append(b.x[:0], x...)
+	b.found = true
+	b.bits.Store(math.Float64bits(v))
+	return true
+}
+
+// lexLessBool orders equal-length bool vectors with false < true.
+func lexLessBool(a, b []bool) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return !a[i]
+		}
+	}
+	return false
+}
+
+// recordPool rolls one parallel solve's pool stats into the observer: the
+// resolved worker count and how many frontier subproblems were executed
+// by a worker other than the one that produced them.
+func recordPool(ctx context.Context, workers int, stolen int64) {
+	o := obs.From(ctx)
+	if o == nil {
+		return
+	}
+	o.Gauge("ilp.workers").Set(float64(workers))
+	o.Counter("ilp.nodes_stolen").Add(stolen)
+}

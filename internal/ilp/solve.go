@@ -3,9 +3,11 @@ package ilp
 import (
 	"context"
 	"math"
+	"sync/atomic"
 
 	"fastmon/internal/fmerr"
 	"fastmon/internal/obs"
+	"fastmon/internal/par"
 )
 
 // Options controls the solvers. The solver time budget is carried by the
@@ -17,6 +19,15 @@ import (
 type Options struct {
 	// MaxNodes bounds the branch-and-bound tree (0 = unlimited).
 	MaxNodes int
+	// Workers bounds the branch-and-bound worker pool; zero or negative
+	// means one worker per CPU (par.ClampWorkers). Completed solves are
+	// deterministic for every worker count: incumbents go through a
+	// lexicographic tie-break and subtrees are pruned only when strictly
+	// worse than the incumbent, so the result is the lexicographically
+	// smallest optimum regardless of interleaving. Budget- or node-capped
+	// aborts return whichever incumbent was best at expiry and are the one
+	// place worker count can show through.
+	Workers int
 }
 
 // pollMask controls the cancellation poll granularity: the context is
@@ -84,11 +95,21 @@ func recordSolve(ctx context.Context, nodes, incumbents int, optimal bool, gap f
 	}
 }
 
-// Solve runs branch-and-bound on a generic 0-1 model. The LP relaxation
-// (when the instance fits the dense simplex) provides bounds and the
-// branching variable; otherwise the search degrades to plain DFS with
-// cost-based pruning. Intended for the moderate-size models the scheduler
-// produces per frequency; the covering fast path lives in SetCover.
+// solveTask is one subproblem of the generic search: a partial 0-1
+// assignment (own copy per task) and the objective cost fixed so far.
+type solveTask struct {
+	fixed []int8
+	cost  float64
+}
+
+// Solve runs branch-and-bound on a generic 0-1 model over a work-sharing
+// frontier (see par.Frontier): each worker expands subproblems
+// depth-first, offloading sibling subtrees when the pool runs hungry. The
+// LP relaxation (when the instance fits the dense simplex) provides
+// bounds and the branching variable; otherwise the search degrades to
+// plain DFS with cost-based pruning. Intended for the moderate-size
+// models the scheduler produces per frequency; the covering fast path
+// lives in SetCover.
 //
 // The context is polled every few nodes: an expired deadline returns the
 // best incumbent with a nil error, cancellation returns the incumbent
@@ -109,115 +130,157 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 		return sol, nil
 	}
 	n := m.NumVars()
-	sol := Solution{Value: math.Inf(1)}
-	rootBound := math.Inf(-1)
-	fixed := make([]int8, n)
-	for i := range fixed {
-		fixed[i] = -1
-	}
+	workers := par.ClampWorkers(opts.Workers)
+	best := newBestSol()
+	var (
+		nodes, incumbents, stolen atomic.Int64
+		stop                      stopFlag
+	)
+	rootBound := math.Inf(-1) // written only while expanding node 1
 
-	stopped := stopNone
-	var rec func(cost float64)
-	rec = func(cost float64) {
-		if stopped != stopNone {
-			return
-		}
-		if sol.Nodes++; opts.MaxNodes > 0 && sol.Nodes > opts.MaxNodes {
-			stopped = stopBudget
-			return
-		}
-		if sol.Nodes&pollMask == 0 {
-			if s := checkCtx(ctx); s != stopNone {
-				stopped = s
-				return
+	fr := par.NewFrontier[solveTask](workers)
+	root := make([]int8, n)
+	for i := range root {
+		root[i] = -1
+	}
+	fr.Push(0, solveTask{fixed: root})
+
+	par.Run(workers, func(id int) {
+		defer func() {
+			// A worker dying mid-search must not strand its peers in Pop.
+			if r := recover(); r != nil {
+				fr.Abort()
+				panic(r)
 			}
-		}
-		if cost >= sol.Value {
-			return
-		}
-		lpVal, lpX, status := SolveLP(m, fixed)
-		switch status {
-		case LPInfeasible:
-			return
-		case LPOptimal:
-			if sol.Nodes == 1 {
-				rootBound = lpVal // root relaxation: global lower bound
-			}
-			if lpVal >= sol.Value-1e-9 {
-				return
-			}
-			// Integral LP solution: accept directly.
-			frac, fracAmt := -1, 0.0
-			for i := 0; i < n; i++ {
-				if fixed[i] >= 0 {
-					continue
-				}
-				f := math.Abs(lpX[i] - math.Round(lpX[i]))
-				if f > fracAmt {
-					frac, fracAmt = i, f
-				}
-			}
-			if frac < 0 || fracAmt < 1e-7 {
-				x := make([]bool, n)
-				for i := 0; i < n; i++ {
-					if fixed[i] == 1 || (fixed[i] < 0 && lpX[i] > 0.5) {
-						x[i] = true
-					}
-				}
-				if m.Feasible(x) {
-					v := m.Value(x)
-					if v < sol.Value {
-						sol.Value, sol.X, sol.Found = v, x, true
-						sol.Incumbents++
-					}
-					return
-				}
-				// Rounding broke feasibility (degenerate): fall through to
-				// branching on the first free variable.
-				frac = firstFree(fixed)
-				if frac < 0 {
-					return
-				}
-			}
-			// Branch on the most fractional variable, 1 first (covering
-			// problems benefit from optimistic inclusion).
-			for _, v := range []int8{1, 0} {
-				fixed[frac] = v
-				rec(cost + float64(v)*m.Obj[frac])
-				fixed[frac] = -1
-			}
-			return
-		case LPTooLarge:
-			// No relaxation available: plain DFS.
-			i := firstFree(fixed)
-			if i < 0 {
-				x := make([]bool, n)
-				for j := range x {
-					x[j] = fixed[j] == 1
-				}
-				if m.Feasible(x) {
-					if v := m.Value(x); v < sol.Value {
-						sol.Value, sol.X, sol.Found = v, x, true
-						sol.Incumbents++
-					}
-				}
+		}()
+		var rec func(fixed []int8, cost float64)
+		// branch expands both children of variable i. The serial order
+		// tries 1 before 0 (covering problems benefit from optimistic
+		// inclusion); under a hungry pool the 0-subtree is offloaded and
+		// the 1-subtree recursed locally, preserving that order.
+		branch := func(fixed []int8, i int, cost float64) {
+			if workers > 1 && fr.Hungry() {
+				off := append([]int8(nil), fixed...)
+				off[i] = 0
+				fr.Push(id, solveTask{fixed: off, cost: cost})
+				fixed[i] = 1
+				rec(fixed, cost+m.Obj[i])
+				fixed[i] = -1
 				return
 			}
 			for _, v := range []int8{1, 0} {
 				fixed[i] = v
-				rec(cost + float64(v)*m.Obj[i])
+				rec(fixed, cost+float64(v)*m.Obj[i])
 				fixed[i] = -1
 			}
-			return
 		}
+		rec = func(fixed []int8, cost float64) {
+			if stop.get() != stopNone {
+				return
+			}
+			nn := nodes.Add(1)
+			if opts.MaxNodes > 0 && nn > int64(opts.MaxNodes) {
+				stop.set(stopBudget)
+				fr.Abort()
+				return
+			}
+			if nn&pollMask == 0 {
+				if s := checkCtx(ctx); s != stopNone {
+					stop.set(s)
+					fr.Abort()
+					return
+				}
+			}
+			if cost > best.val()+eps {
+				return
+			}
+			lpVal, lpX, status := SolveLP(m, fixed)
+			switch status {
+			case LPInfeasible:
+				return
+			case LPOptimal:
+				if nn == 1 {
+					rootBound = lpVal // root relaxation: global lower bound
+				}
+				if lpVal > best.val()+eps {
+					return
+				}
+				frac, fracAmt := -1, 0.0
+				for i := 0; i < n; i++ {
+					if fixed[i] >= 0 {
+						continue
+					}
+					f := math.Abs(lpX[i] - math.Round(lpX[i]))
+					if f > fracAmt {
+						frac, fracAmt = i, f
+					}
+				}
+				if frac < 0 || fracAmt < 1e-7 {
+					// Integral LP solution: accept directly.
+					x := make([]bool, n)
+					for i := 0; i < n; i++ {
+						if fixed[i] == 1 || (fixed[i] < 0 && lpX[i] > 0.5) {
+							x[i] = true
+						}
+					}
+					if m.Feasible(x) {
+						if best.offer(x, m.Value(x)) {
+							incumbents.Add(1)
+						}
+						return
+					}
+					// Rounding broke feasibility (degenerate): fall through
+					// to branching on the first free variable.
+					frac = firstFree(fixed)
+					if frac < 0 {
+						return
+					}
+				}
+				branch(fixed, frac, cost)
+			case LPTooLarge:
+				// No relaxation available: plain DFS.
+				i := firstFree(fixed)
+				if i < 0 {
+					x := make([]bool, n)
+					for j := range x {
+						x[j] = fixed[j] == 1
+					}
+					if m.Feasible(x) {
+						if best.offer(x, m.Value(x)) {
+							incumbents.Add(1)
+						}
+					}
+					return
+				}
+				branch(fixed, i, cost)
+			}
+		}
+		for {
+			t, st, ok := fr.Pop(id)
+			if !ok {
+				return
+			}
+			if st {
+				stolen.Add(1)
+			}
+			rec(t.fixed, t.cost)
+		}
+	})
+
+	stopped := stop.get()
+	sol := Solution{Nodes: int(nodes.Load()), Incumbents: int(incumbents.Load())}
+	best.mu.Lock()
+	sol.Found = best.found
+	if best.found {
+		sol.X = append([]bool(nil), best.x...)
+		sol.Value = best.val()
+	} else {
+		sol.Value = math.Inf(1)
 	}
-	rec(0)
+	best.mu.Unlock()
 	sol.Optimal = sol.Found && stopped == stopNone
 	if stopped != stopNone {
 		sol.Degradation = fmerr.DegradeIncumbent
-	}
-	if !sol.Found {
-		sol.Value = math.Inf(1)
 	}
 	if !sol.Optimal && sol.Found {
 		switch {
@@ -231,6 +294,7 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 		}
 	}
 	recordSolve(ctx, sol.Nodes, sol.Incumbents, sol.Optimal, sol.Gap)
+	recordPool(ctx, workers, stolen.Load())
 	if stopped == stopCanceled {
 		return sol, fmerr.Wrap(fmerr.StageSolve, "solve", ctx.Err())
 	}

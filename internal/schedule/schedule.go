@@ -12,7 +12,10 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastmon/internal/bitset"
@@ -22,6 +25,7 @@ import (
 	"fastmon/internal/ilp"
 	"fastmon/internal/interval"
 	"fastmon/internal/obs"
+	"fastmon/internal/par"
 	"fastmon/internal/tunit"
 )
 
@@ -67,8 +71,16 @@ type Options struct {
 	FreeConfig bool
 	// SolverBudget bounds each exact solve; exceeding it falls back to
 	// the best incumbent (the paper aborts its ILP after 1 hour). Zero
-	// means 10 seconds.
+	// means 10 seconds. The budget is per solve: when Step 2 fans out
+	// across workers, every in-flight solve keeps its own full window, so
+	// the degradation behaviour does not depend on the worker count.
 	SolverBudget time.Duration
+	// Workers bounds the Step-2 fan-out across periods and the worker
+	// pool inside each exact covering solve; zero or negative means one
+	// worker per CPU (par.ClampWorkers). Completed builds are
+	// bit-identical for every worker count: the per-period solves are
+	// independent and their bookkeeping merge is commutative.
+	Workers int
 }
 
 func (o Options) budget() time.Duration {
@@ -119,7 +131,11 @@ type SolverStats struct {
 	MaxGap float64 `json:"max_gap,omitempty"`
 }
 
-// add rolls one exact solve's effort into the totals.
+// add rolls one exact solve's effort into the totals. It is not itself
+// goroutine-safe (SolverStats is a plain value that gets copied and
+// JSON-marshaled); Build serializes concurrent merges under one mutex.
+// Every merged quantity is commutative — sums and a max — so the merged
+// totals are order-independent.
 func (st *SolverStats) add(res ilp.CoverResult) {
 	st.Solves++
 	st.Nodes += res.Nodes
@@ -217,18 +233,12 @@ func Build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 	for i, c := range cands {
 		sets[i] = c.Faults
 	}
-	quota := coverable
-	if opt.Coverage > 0 && opt.Coverage < 1 {
-		quota = int(float64(coverable)*opt.Coverage + 0.999999)
-		if quota > coverable {
-			quota = coverable
-		}
-	}
+	quota := Quota(coverable, opt.Coverage)
 	var selected []int
 	switch {
 	case opt.Method == ILP && quota == coverable:
 		res, err := solveBudgeted(ctx, opt, func(sctx context.Context) (ilp.CoverResult, error) {
-			return ilp.SetCover(sctx, sets, universe, ilp.Options{})
+			return ilp.SetCover(sctx, sets, universe, ilp.Options{Workers: opt.Workers})
 		})
 		if err != nil {
 			return nil, fmerr.Wrap(fmerr.StageSchedule, "frequency-selection", err)
@@ -238,7 +248,7 @@ func Build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 		s.Solver.add(res)
 	case opt.Method == ILP:
 		res, err := solveBudgeted(ctx, opt, func(sctx context.Context) (ilp.CoverResult, error) {
-			return ilp.PartialCover(sctx, sets, universe, quota, ilp.Options{})
+			return ilp.PartialCover(sctx, sets, universe, quota, ilp.Options{Workers: opt.Workers})
 		})
 		if err != nil {
 			return nil, fmerr.Wrap(fmerr.StageSchedule, "frequency-selection", err)
@@ -294,19 +304,99 @@ func Build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 	}
 	s.Covered = assigned.Count()
 
-	// Step 2: per period, minimum pattern-configuration selection.
+	// Step 2: per period, minimum pattern-configuration selection. The
+	// periods are independent after fault dropping, so the solves fan out
+	// across a bounded worker pool. Each worker owns the plans it pulls;
+	// the shared bookkeeping (CombosOptimal, Degradation, SolverStats)
+	// funnels through one mutex-guarded merge whose operations are all
+	// commutative (AND, max, sums), so the resulting Schedule is
+	// bit-identical to the serial build.
 	s.CombosOptimal = true
-	for pi := range plans {
-		if err := ctx.Err(); err != nil {
-			return nil, fmerr.Wrap(fmerr.StageSchedule, "combo-selection", err)
+	workers := par.ClampWorkers(opt.Workers)
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu       sync.Mutex
+		nextPlan atomic.Int64
+		errIdx   int
+		firstErr error
+	)
+	record := func(res ilp.CoverResult, isILP bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !isILP {
+			s.CombosOptimal = false
+			return
 		}
-		if err := optimizeCombos(ctx, data, &plans[pi], opt, delays, s); err != nil {
-			return nil, err
+		if !res.Optimal {
+			s.CombosOptimal = false
 		}
+		s.Degradation = fmerr.Worse(s.Degradation, res.Degradation)
+		s.Solver.add(res)
+	}
+	par.Run(workers, func(int) {
+		for {
+			pi := int(nextPlan.Add(1)) - 1
+			if pi >= len(plans) {
+				return
+			}
+			mu.Lock()
+			bail := firstErr != nil
+			mu.Unlock()
+			if bail {
+				return
+			}
+			var err error
+			if cerr := ctx.Err(); cerr != nil {
+				err = fmerr.Wrap(fmerr.StageSchedule, "combo-selection", cerr)
+			} else {
+				err = optimizeCombos(ctx, data, &plans[pi], opt, delays, record)
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil || pi < errIdx {
+					firstErr, errIdx = err, pi
+				}
+				mu.Unlock()
+				return
+			}
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if workers > 1 {
+		obs.From(ctx).Counter("schedule.parallel_combos").Add(int64(len(plans)))
 	}
 	sort.Slice(plans, func(a, b int) bool { return plans[a].Period < plans[b].Period })
 	s.Periods = plans
 	return s, nil
+}
+
+// Quota returns the number of faults a partial-coverage target requires:
+// ⌈coverable · coverage⌉ in exact integer arithmetic. Coverage targets
+// are taken at micro-precision (rounded to the nearest 1e-6, which covers
+// every value the paper's Table III uses), so float representation error
+// in products like 1000 × 0.999 can never shift the quota by one fault —
+// the defect the former float-plus-0.999999 rounding hack had. Coverage
+// values ≤ 0 or ≥ 1 mean full coverage.
+func Quota(coverable int, coverage float64) int {
+	if coverage <= 0 || coverage >= 1 || coverable <= 0 {
+		return coverable
+	}
+	num := int64(math.Round(coverage * 1e6))
+	q := (int64(coverable)*num + 999999) / 1000000
+	if q > int64(coverable) {
+		return coverable
+	}
+	if q < 0 {
+		return 0
+	}
+	return int(q)
 }
 
 // solveBudgeted runs one exact covering solve under a child context
@@ -321,8 +411,10 @@ func solveBudgeted(ctx context.Context, opt Options,
 
 // optimizeCombos fills plan.Combos with a minimal covering set of
 // (pattern, config) combinations for the faults assigned to the period.
+// The caller owns plan; shared schedule bookkeeping goes through record,
+// which must be safe for concurrent use (Step 2 fans out across plans).
 func optimizeCombos(ctx context.Context, data []detect.FaultData, plan *PeriodPlan, opt Options,
-	delays []tunit.Time, s *Schedule) error {
+	delays []tunit.Time, record func(res ilp.CoverResult, isILP bool)) error {
 
 	configs := []int{ConfigOff}
 	if len(delays) > 0 {
@@ -380,24 +472,20 @@ func optimizeCombos(ctx context.Context, data []detect.FaultData, plan *PeriodPl
 	var chosen []int
 	if opt.Method == ILP {
 		res, err := solveBudgeted(ctx, opt, func(sctx context.Context) (ilp.CoverResult, error) {
-			return ilp.SetCover(sctx, sets, target, ilp.Options{})
+			return ilp.SetCover(sctx, sets, target, ilp.Options{Workers: opt.Workers})
 		})
 		if err != nil {
 			return fmerr.Wrap(fmerr.StageSchedule, fmt.Sprintf("combo-selection@%s", plan.Period), err)
 		}
 		chosen = res.Selected
-		if !res.Optimal {
-			s.CombosOptimal = false
-		}
-		s.Degradation = fmerr.Worse(s.Degradation, res.Degradation)
-		s.Solver.add(res)
+		record(res, true)
 	} else {
 		var err error
 		chosen, err = ilp.GreedyCover(sets, target)
 		if err != nil {
 			return fmerr.Wrap(fmerr.StageSchedule, fmt.Sprintf("combo-selection@%s", plan.Period), err)
 		}
-		s.CombosOptimal = false
+		record(ilp.CoverResult{}, false)
 	}
 	for _, i := range chosen {
 		plan.Combos = append(plan.Combos, Combo{Pattern: keys[i].pattern, Config: keys[i].config})

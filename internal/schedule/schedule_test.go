@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -194,10 +195,7 @@ func TestBuildS27CoverageLadder(t *testing.T) {
 		if err := Validate(data, s, o); err != nil {
 			t.Fatal(err)
 		}
-		quota := int(float64(s.Coverable)*cov + 0.999999)
-		if cov == 1.0 {
-			quota = s.Coverable
-		}
+		quota := Quota(s.Coverable, cov)
 		if s.Covered < quota {
 			t.Fatalf("cov %.2f: covered %d < quota %d", cov, s.Covered, quota)
 		}
@@ -222,6 +220,97 @@ func TestSolverBudgetFallback(t *testing.T) {
 	}
 	if s.Covered != s.Coverable {
 		t.Fatal("fallback schedule must still cover everything")
+	}
+}
+
+func TestQuotaExactCeiling(t *testing.T) {
+	cases := []struct {
+		coverable int
+		coverage  float64
+		want      int
+	}{
+		// The former float hack computed 1000·0.999 as 998.9999…; the
+		// exact ceiling must land on 999, not 998 or 1000.
+		{1000, 0.999, 999},
+		// 100·0.07 floats to 7.000000000000001, which the old
+		// +0.999999 trick rounded up to 8.
+		{100, 0.07, 7},
+		{1000, 0.9995, 1000},
+		{1000, 0.0001, 1},
+		// Tiny coverable counts: any positive target needs ≥ 1 fault.
+		{1, 0.001, 1},
+		{1, 0.999, 1},
+		{2, 0.5, 1},
+		{3, 0.5, 2},
+		{0, 0.5, 0},
+		// Full coverage passthrough.
+		{1000, 0, 1000},
+		{1000, 1, 1000},
+		{1000, 1.5, 1000},
+	}
+	for _, c := range cases {
+		if got := Quota(c.coverable, c.coverage); got != c.want {
+			t.Errorf("Quota(%d, %g) = %d, want %d", c.coverable, c.coverage, got, c.want)
+		}
+	}
+}
+
+// scheduleEqual compares the fields the differential suite locks down:
+// Periods (periods, fault assignment, combos), Covered, and the solver
+// optimality flags.
+func scheduleEqual(a, b *Schedule) bool {
+	if a.Method != b.Method || a.Covered != b.Covered || a.Coverable != b.Coverable ||
+		a.FreqOptimal != b.FreqOptimal || a.CombosOptimal != b.CombosOptimal ||
+		len(a.Periods) != len(b.Periods) {
+		return false
+	}
+	for i := range a.Periods {
+		pa, pb := a.Periods[i], b.Periods[i]
+		if pa.Period != pb.Period || len(pa.Faults) != len(pb.Faults) || len(pa.Combos) != len(pb.Combos) {
+			return false
+		}
+		for j := range pa.Faults {
+			if pa.Faults[j] != pb.Faults[j] {
+				return false
+			}
+		}
+		for j := range pa.Combos {
+			if pa.Combos[j] != pb.Combos[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestBuildParallelMatchesSerial is the schedule half of the differential
+// suite: Workers=1 and Workers>1 builds must produce bit-identical
+// schedules for every method.
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	data, opt := buildS27(t)
+	for _, m := range []Method{ILP, Heuristic, Conventional} {
+		for _, cov := range []float64{1.0, 0.95} {
+			o := opt
+			o.Method, o.Coverage = m, cov
+			o.Workers = 1
+			ref, err := Build(context.Background(), data, o)
+			if err != nil {
+				t.Fatalf("%v cov=%g serial: %v", m, cov, err)
+			}
+			for _, w := range []int{2, 8} {
+				o.Workers = w
+				got, err := Build(context.Background(), data, o)
+				if err != nil {
+					t.Fatalf("%v cov=%g workers=%d: %v", m, cov, w, err)
+				}
+				if !scheduleEqual(ref, got) {
+					t.Fatalf("%v cov=%g workers=%d: schedule differs from serial:\nserial: %+v\nparallel: %+v",
+						m, cov, w, ref, got)
+				}
+			}
+		}
 	}
 }
 
