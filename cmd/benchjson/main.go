@@ -22,6 +22,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,7 +31,14 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"fastmon/internal/chaos"
+	"fastmon/internal/fmerr"
+	"fastmon/internal/safeio"
 )
+
+// ptBench is the chaos injection point for benchmark-report emission.
+var ptBench = chaos.Register("bench.write", fmerr.StageIO)
 
 // event is the subset of the test2json record we care about.
 type event struct {
@@ -205,16 +213,32 @@ func run(out string) error {
 		return fmt.Errorf("no benchmark results on stdin")
 	}
 	rep.finalize()
-	data, err := json.MarshalIndent(rep, "", "  ")
+	if out == "-" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	// File output goes through the durable-I/O layer: CRC-stamped record,
+	// atomic fsync-then-rename replacement, transient-failure retry.
+	data, err := safeio.MarshalRecord(rep)
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	if out == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
-	}
-	return os.WriteFile(out, data, 0o644)
+	ctx := context.Background()
+	return safeio.Retry(ctx, safeio.RetryPolicy{}, "bench-report", func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmerr.NewPanic(chaos.StageOf(r, fmerr.StageIO), out, r)
+			}
+		}()
+		if err := chaos.Point(ctx, ptBench); err != nil {
+			return err
+		}
+		return safeio.WriteFileAtomic(ctx, out, data, 0o644)
+	})
 }
 
 func main() {

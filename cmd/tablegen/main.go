@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"fastmon/internal/aging"
+	"fastmon/internal/chaos"
 	"fastmon/internal/exper"
 	"fastmon/internal/obs"
 	"fastmon/internal/schedule"
@@ -48,6 +49,11 @@ type options struct {
 	verbose  bool   // -v: per-stage span logging
 	jsonLogs bool   // -json-logs: structured JSON log lines
 	manifest string // -manifest: run.json output path ("" disables)
+
+	// chaosRate > 0 enables deterministic fault injection at every
+	// registered chaos point, driven by chaosSeed (see internal/chaos).
+	chaosSeed int64
+	chaosRate float64
 }
 
 func main() {
@@ -69,6 +75,9 @@ func main() {
 		resume   = flag.Bool("resume", false, "reuse completed circuits from -checkpoint DIR")
 		slowsim  = flag.Bool("slowsim", false, "use the naive full-resimulation fault simulator (differential debugging)")
 		workers  = flag.Int("workers", 0, "goroutines for every parallel stage: concurrent circuits, fault simulation and the covering solvers (0 = all CPUs)")
+
+		chaosSeed = flag.Int64("chaos.seed", 0, "seed for deterministic fault injection (same seed, same faults)")
+		chaosRate = flag.Float64("chaos.rate", 0, "per-point fault injection probability in [0,1] (0 disables chaos)")
 
 		verbose    = flag.Bool("v", false, "log per-stage spans and telemetry to stderr")
 		jsonLogs   = flag.Bool("json-logs", false, "emit logs as JSON lines (machine-readable)")
@@ -97,6 +106,7 @@ func main() {
 		ablate: *ablate, robust: *robust, lifetime: *lifetime,
 		steps: *steps, ckptDir: *ckpt, resume: *resume,
 		verbose: *verbose, jsonLogs: *jsonLogs, manifest: *manifest,
+		chaosSeed: *chaosSeed, chaosRate: *chaosRate,
 	}
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile, *traceOut)
@@ -148,13 +158,31 @@ func run(ctx context.Context, out, log io.Writer, cfg exper.SuiteConfig, opts op
 	// needs them); log output depends on -v / -json-logs.
 	o := obs.New(newLogger(log, opts))
 	ctx = obs.With(ctx, o)
+
+	// Deterministic fault injection: -chaos.rate attaches an injector to
+	// the context, arming every registered chaos point in the pipeline.
+	// The injection decisions are a pure function of -chaos.seed, so a
+	// failing run replays from its seed alone.
+	if opts.chaosRate > 0 {
+		in := chaos.New(chaos.Config{Seed: opts.chaosSeed, Rate: opts.chaosRate})
+		ctx = chaos.With(ctx, in)
+		fmt.Fprintf(log, "# chaos: injecting faults at rate %g (seed %d)\n", opts.chaosRate, opts.chaosSeed)
+		defer func() {
+			fmt.Fprintf(log, "# chaos: %d faults injected %v\n", in.Fired(), in.Snapshot())
+		}()
+	}
+
 	var results []*exper.CircuitResult
 	if opts.manifest != "" {
 		man := obs.NewManifest("tablegen", cfg)
 		defer func() {
 			man.Circuits = results
 			man.Finish(o)
-			if err := man.WriteFile(opts.manifest); err != nil {
+			// The manifest must land even when the run itself was
+			// cancelled, so the write uses a fresh context — keeping the
+			// chaos injector, which tears manifests too.
+			wctx := chaos.With(context.Background(), chaos.From(ctx))
+			if err := man.WriteFile(wctx, opts.manifest); err != nil {
 				fmt.Fprintf(log, "# manifest: %v\n", err)
 				return
 			}

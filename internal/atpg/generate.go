@@ -6,12 +6,20 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"fastmon/internal/chaos"
 	"fastmon/internal/circuit"
 	"fastmon/internal/fault"
 	"fastmon/internal/fmerr"
 	"fastmon/internal/logic"
 	"fastmon/internal/obs"
 	"fastmon/internal/sim"
+)
+
+// Chaos injection points at the phase boundaries of test generation,
+// aligned with the cancellation polls.
+var (
+	ptRandom = chaos.Register("atpg.random", fmerr.StageATPG)
+	ptPodem  = chaos.Register("atpg.podem", fmerr.StageATPG)
 )
 
 // Config controls test generation.
@@ -109,6 +117,9 @@ func Generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg
 		if err := ctx.Err(); err != nil {
 			return patterns, st, fmerr.Wrap(fmerr.StageATPG, "random-phase", err)
 		}
+		if err := chaos.Point(ctx, ptRandom); err != nil {
+			return patterns, st, fmerr.Wrap(fmerr.StageATPG, "random-phase", err)
+		}
 		blk := make([]sim.Pattern, 64)
 		for i := range blk {
 			blk[i] = sim.Pattern{V1: make([]bool, nsrc), V2: make([]bool, nsrc)}
@@ -154,6 +165,9 @@ func Generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg
 	for fi := range faults {
 		if fi&63 == 0 {
 			if err := ctx.Err(); err != nil {
+				return patterns, st, fmerr.Wrap(fmerr.StageATPG, "deterministic-phase", err)
+			}
+			if err := chaos.Point(ctx, ptPodem); err != nil {
 				return patterns, st, fmerr.Wrap(fmerr.StageATPG, "deterministic-phase", err)
 			}
 		}

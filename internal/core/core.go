@@ -13,6 +13,7 @@ import (
 
 	"fastmon/internal/atpg"
 	"fastmon/internal/cell"
+	"fastmon/internal/chaos"
 	"fastmon/internal/circuit"
 	"fastmon/internal/detect"
 	"fastmon/internal/fault"
@@ -25,6 +26,14 @@ import (
 	"fastmon/internal/sim"
 	"fastmon/internal/sta"
 	"fastmon/internal/tunit"
+)
+
+// Chaos injection points at the serial stage boundaries of the flow
+// (the parallel stages carry their own points inside their workers).
+var (
+	ptSTA      = chaos.Register("core.sta", fmerr.StageAnnotate)
+	ptClassify = chaos.Register("core.classify", fmerr.StageAnnotate)
+	ptExtract  = chaos.Register("core.extract", fmerr.StageDetect)
 )
 
 // ClampWorkers resolves a configured worker count to [1, GOMAXPROCS]:
@@ -145,6 +154,9 @@ func Run(ctx context.Context, c *circuit.Circuit, lib *cell.Library, annot *cell
 	// fault classification. The returned contexts of the stage spans are
 	// discarded on purpose: sta/classify/atpg/detect/extract are siblings,
 	// not nested.
+	if err := chaos.Point(ctx, ptSTA); err != nil {
+		return nil, fmerr.Wrap(fmerr.StageAnnotate, "sta", err)
+	}
 	_, staSpan := obs.StartSpan(ctx, "sta")
 	f.Timing = sta.Analyze(c, annot)
 	f.Clk = f.Timing.NominalClock(cfg.ClockMargin)
@@ -159,6 +171,9 @@ func Run(ctx context.Context, c *circuit.Circuit, lib *cell.Library, annot *cell
 		slog.String("clk", f.Clk.String()),
 		slog.Int("monitors", len(f.Placement.Taps)))
 
+	if err := chaos.Point(ctx, ptClassify); err != nil {
+		return nil, fmerr.Wrap(fmerr.StageAnnotate, "classify", err)
+	}
 	_, clsSpan := obs.StartSpan(ctx, "classify")
 	f.Universe = fault.Sample(fault.Universe(c), cfg.FaultSampleK)
 	ccfg := fault.ClassifyConfig{
@@ -199,6 +214,9 @@ func Run(ctx context.Context, c *circuit.Circuit, lib *cell.Library, annot *cell
 	}
 
 	// Step 5: classification and target-fault extraction.
+	if err := chaos.Point(ctx, ptExtract); err != nil {
+		return nil, fmerr.Wrap(fmerr.StageDetect, "extract", err)
+	}
 	_, extSpan := obs.StartSpan(ctx, "extract")
 	lo, hi := f.DetectCfg.ObservationWindow()
 	for i := range data {

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fastmon/internal/chaos"
 	"fastmon/internal/fault"
 	"fastmon/internal/fmerr"
 	"fastmon/internal/interval"
@@ -27,6 +28,15 @@ import (
 	"fastmon/internal/par"
 	"fastmon/internal/sim"
 	"fastmon/internal/tunit"
+)
+
+// Chaos injection points at the two worker-dispatch boundaries: one per
+// fault-free baseline (phase A), one per fault shard (phase B). Both
+// sit inside the worker goroutines, so injected panics exercise the
+// recover-and-attribute paths below.
+var (
+	ptBaseline = chaos.Register("detect.baseline", fmerr.StageDetect)
+	ptShard    = chaos.Register("detect.shard", fmerr.StageDetect)
 )
 
 // Config parameterizes the detection-range computation.
@@ -317,6 +327,10 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 						return
 					}
 					cur = pi
+					if err := chaos.Point(wctx, ptBaseline); err != nil {
+						fail(fmerr.Wrap(fmerr.StageDetect, "baseline", err))
+						return
+					}
 					t0 := time.Now()
 					if baselines[pi-lo] == nil {
 						baselines[pi-lo] = e.AcquireBaseline()
@@ -369,6 +383,10 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 				for {
 					si := int(scursor.Add(1)) - 1
 					if si >= len(shards) {
+						return
+					}
+					if err := chaos.Point(wctx, ptShard); err != nil {
+						fail(fmerr.Wrap(fmerr.StageDetect, "shard", err))
 						return
 					}
 					t0 := time.Now()

@@ -1,8 +1,10 @@
 package exper
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,10 +13,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fastmon/internal/chaos"
 	"fastmon/internal/fmerr"
 	"fastmon/internal/obs"
 	"fastmon/internal/par"
+	"fastmon/internal/safeio"
 	"fastmon/internal/schedule"
+)
+
+// Chaos injection points of the harness layer: the per-circuit compute
+// dispatch and both sides of the checkpoint store.
+var (
+	ptCircuit         = chaos.Register("exper.circuit", fmerr.StageExper)
+	ptCheckpointWrite = chaos.Register("exper.checkpoint.write", fmerr.StageCheckpoint)
+	ptCheckpointRead  = chaos.Register("exper.checkpoint.read", fmerr.StageCheckpoint)
 )
 
 // Checkpointing for multi-circuit harness runs: the full-scale suite takes
@@ -98,49 +110,55 @@ func checkpointPath(dir, name string) string {
 	return filepath.Join(dir, name+".json")
 }
 
-// SaveCheckpoint atomically persists one circuit result: the entry is
-// written to a temporary file in the same directory and renamed into
-// place, so a crash mid-write never corrupts an existing entry.
-func SaveCheckpoint(dir string, res *CircuitResult) error {
+// SaveCheckpoint durably persists one circuit result as a CRC-stamped
+// record: write-fsync-rename into place plus a directory fsync (via
+// safeio), so a crash mid-write never corrupts an existing entry and a
+// completed save survives power loss. Transient failures — including
+// chaos-injected ones — are retried with backoff; the retry never
+// outlives ctx.
+func SaveCheckpoint(ctx context.Context, dir string, res *CircuitResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmerr.Wrap(fmerr.StageCheckpoint, "mkdir", err)
 	}
-	data, err := json.MarshalIndent(res, "", "  ")
+	data, err := safeio.MarshalRecord(res)
 	if err != nil {
 		return fmerr.Wrap(fmerr.StageCheckpoint, "marshal", err)
 	}
-	tmp, err := os.CreateTemp(dir, "."+res.Name+"-*.tmp")
-	if err != nil {
-		return fmerr.Wrap(fmerr.StageCheckpoint, "tempfile", err)
-	}
-	_, werr := tmp.Write(append(data, '\n'))
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr == nil {
-			werr = cerr
+	path := checkpointPath(dir, res.Name)
+	err = safeio.Retry(ctx, safeio.RetryPolicy{}, "checkpoint "+res.Name, func() error {
+		if err := chaos.Point(ctx, ptCheckpointWrite); err != nil {
+			return err
 		}
-		return fmerr.Wrap(fmerr.StageCheckpoint, "write", werr)
-	}
-	if err := os.Rename(tmp.Name(), checkpointPath(dir, res.Name)); err != nil {
-		os.Remove(tmp.Name())
-		return fmerr.Wrap(fmerr.StageCheckpoint, "rename", err)
-	}
-	return nil
+		return safeio.WriteFileAtomic(ctx, path, data, 0o644)
+	})
+	return fmerr.Wrap(fmerr.StageCheckpoint, "write", err)
 }
 
 // LoadCheckpoints reads every usable entry from the directory, keyed by
-// circuit name. Corrupt entries and entries computed under a different
-// configuration are skipped (reported in skipped), not fatal: the resumed
-// run recomputes them. A missing directory yields an empty map.
-func LoadCheckpoints(dir string, cfg SuiteConfig) (entries map[string]*CircuitResult, skipped []string, err error) {
+// circuit name. Corrupt entries — torn records, bit flips caught by the
+// CRC, zero-length or truncated files, unknown record versions — are
+// treated identically to missing ones: skipped (reported in skipped,
+// counted on the obs counter "exper.checkpoints_corrupt") so the
+// resumed run recomputes them, never served. Entries computed under a
+// different configuration are likewise skipped. Legacy pre-envelope
+// naked-JSON entries still load. A missing directory yields an empty
+// map.
+func LoadCheckpoints(ctx context.Context, dir string, cfg SuiteConfig) (entries map[string]*CircuitResult, skipped []string, err error) {
 	entries = map[string]*CircuitResult{}
+	if err := chaos.Point(ctx, ptCheckpointRead); err != nil {
+		return nil, nil, fmerr.Wrap(fmerr.StageCheckpoint, "read", err)
+	}
+	o := obs.From(ctx)
 	files, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return entries, nil, nil
 		}
 		return nil, nil, fmerr.Wrap(fmerr.StageCheckpoint, "readdir", err)
+	}
+	corrupt := func(name string, err error) {
+		o.Counter("exper.checkpoints_corrupt").Add(1)
+		skipped = append(skipped, fmt.Sprintf("%s: %v", name, err))
 	}
 	for _, f := range files {
 		name := f.Name()
@@ -153,12 +171,25 @@ func LoadCheckpoints(dir string, cfg SuiteConfig) (entries map[string]*CircuitRe
 			continue
 		}
 		var res CircuitResult
-		if err := json.Unmarshal(data, &res); err != nil {
-			skipped = append(skipped, fmt.Sprintf("%s: %v", name, err))
-			continue
+		if derr := safeio.UnmarshalRecord(data, &res); derr != nil {
+			if !errors.Is(derr, safeio.ErrNotRecord) {
+				corrupt(name, derr) // envelope present but CRC/version does not verify
+				continue
+			}
+			// Not an envelope: either a legacy naked-JSON entry (still
+			// honored) or junk — zero-length, truncated, not JSON at all —
+			// which counts as corrupt exactly like a failed checksum.
+			if len(bytes.TrimSpace(data)) == 0 {
+				corrupt(name, errors.New("zero-length entry"))
+				continue
+			}
+			if jerr := json.Unmarshal(data, &res); jerr != nil {
+				corrupt(name, jerr)
+				continue
+			}
 		}
 		if res.Name != strings.TrimSuffix(name, ".json") {
-			skipped = append(skipped, fmt.Sprintf("%s: entry names %q", name, res.Name))
+			corrupt(name, fmt.Errorf("entry names %q", res.Name))
 			continue
 		}
 		if !res.Matches(cfg) {
@@ -283,7 +314,17 @@ type SuiteProgress func(ev SuiteEvent)
 // the lowest-index failed circuit alongside every completed result.
 // progress may be nil.
 func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest, dir string,
-	stop <-chan struct{}, progress SuiteProgress) ([]*CircuitResult, error) {
+	stop <-chan struct{}, progress SuiteProgress) (results []*CircuitResult, err error) {
+
+	// Suite-level panic isolation: the harness entry points (checkpoint
+	// load, dispatch bookkeeping) run outside the per-circuit recover, so
+	// a panic there — including an injected one — must still surface as a
+	// typed error, never escape to the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			results, err = nil, fmerr.NewPanic(chaos.StageOf(r, fmerr.StageExper), "suite", r)
+		}
+	}()
 
 	cfg = cfg.Defaults()
 	specs, err := cfg.Select()
@@ -292,7 +333,7 @@ func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest
 	}
 	var cached map[string]*CircuitResult
 	if dir != "" {
-		cached, _, err = LoadCheckpoints(dir, cfg)
+		cached, _, err = LoadCheckpoints(ctx, dir, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -333,6 +374,32 @@ func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest
 		mu.Unlock()
 		halted.Store(true)
 	}
+	// runOne computes and persists one circuit with panic isolation: a
+	// panic anywhere under the circuit — a worker pool re-raising a
+	// recovered worker panic, or a chaos-injected one — becomes a typed
+	// *fmerr.PanicError attributed to the stage it fired in, so one
+	// crashing circuit fails the run with attribution instead of killing
+	// the process.
+	runOne := func(spec Spec, creq TableRequest) (res *CircuitResult, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmerr.NewPanic(chaos.StageOf(r, fmerr.StageExper), spec.Name, r)
+			}
+		}()
+		if err := chaos.Point(ctx, ptCircuit); err != nil {
+			return nil, fmerr.Wrap(fmerr.StageExper, spec.Name, err)
+		}
+		res, err = ComputeCircuit(ctx, spec, cfg, creq)
+		if err != nil {
+			return nil, fmerr.Wrap(fmerr.StageExper, spec.Name, err)
+		}
+		if dir != "" {
+			if err := SaveCheckpoint(ctx, dir, res); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
 	par.Run(workers, func(int) {
 		for {
 			i := int(next.Add(1)) - 1
@@ -367,17 +434,11 @@ func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest
 				mu.Unlock()
 			}
 			o.Gauge("exper.circuits_inflight").Set(float64(inflight.Add(1)))
-			res, err := ComputeCircuit(ctx, spec, cfg, creq)
+			res, err := runOne(spec, creq)
 			o.Gauge("exper.circuits_inflight").Set(float64(inflight.Add(-1)))
 			if err != nil {
-				recordErr(i, fmerr.Wrap(fmerr.StageExper, spec.Name, err))
+				recordErr(i, err)
 				return
-			}
-			if dir != "" {
-				if err := SaveCheckpoint(dir, res); err != nil {
-					recordErr(i, err)
-					return
-				}
 			}
 			mu.Lock()
 			slots[i] = res

@@ -26,10 +26,10 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	cfg := smallCfg()
 	want := fakeResult("s9234", cfg)
 	want.Fig3 = []Fig3Point{{FMaxFactor: 1, ConvPct: 10, PropPct: 20}}
-	if err := SaveCheckpoint(dir, want); err != nil {
+	if err := SaveCheckpoint(context.Background(), dir, want); err != nil {
 		t.Fatal(err)
 	}
-	entries, skipped, err := LoadCheckpoints(dir, cfg)
+	entries, skipped, err := LoadCheckpoints(context.Background(), dir, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 func TestLoadCheckpointsSkipsBadEntries(t *testing.T) {
 	dir := t.TempDir()
 	cfg := smallCfg()
-	if err := SaveCheckpoint(dir, fakeResult("s9234", cfg)); err != nil {
+	if err := SaveCheckpoint(context.Background(), dir, fakeResult("s9234", cfg)); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt JSON.
@@ -65,7 +65,7 @@ func TestLoadCheckpointsSkipsBadEntries(t *testing.T) {
 	// Entry computed under a different configuration.
 	stale := fakeResult("s15850", cfg)
 	stale.Scale = 0.5
-	if err := SaveCheckpoint(dir, stale); err != nil {
+	if err := SaveCheckpoint(context.Background(), dir, stale); err != nil {
 		t.Fatal(err)
 	}
 	// Entry whose content names a different circuit than its file.
@@ -73,7 +73,7 @@ func TestLoadCheckpointsSkipsBadEntries(t *testing.T) {
 		[]byte(`{"name":"imposter","scale":0.05,"max_faults":800}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	entries, skipped, err := LoadCheckpoints(dir, cfg)
+	entries, skipped, err := LoadCheckpoints(context.Background(), dir, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestLoadCheckpointsSkipsBadEntries(t *testing.T) {
 }
 
 func TestLoadCheckpointsMissingDir(t *testing.T) {
-	entries, skipped, err := LoadCheckpoints(filepath.Join(t.TempDir(), "nope"), smallCfg())
+	entries, skipped, err := LoadCheckpoints(context.Background(), filepath.Join(t.TempDir(), "nope"), smallCfg())
 	if err != nil || len(entries) != 0 || len(skipped) != 0 {
 		t.Fatalf("missing dir: entries=%v skipped=%v err=%v", entries, skipped, err)
 	}
@@ -102,10 +102,10 @@ func TestResumeSkipsCompletedCircuits(t *testing.T) {
 	cfg.Names = []string{"s9234", "s13207"}
 	req := TableRequest{T1: true}
 
-	if err := SaveCheckpoint(dir, fakeResult("s9234", cfg)); err != nil {
+	if err := SaveCheckpoint(context.Background(), dir, fakeResult("s9234", cfg)); err != nil {
 		t.Fatal(err)
 	}
-	if err := SaveCheckpoint(dir, fakeResult("s13207", cfg)); err != nil {
+	if err := SaveCheckpoint(context.Background(), dir, fakeResult("s13207", cfg)); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt the second entry after the fact (simulating a crash that
@@ -147,7 +147,7 @@ func TestResumeSkipsCompletedCircuits(t *testing.T) {
 	if results[1].T1 == nil || results[1].T1.Gates == 123 {
 		t.Fatalf("recomputed entry bogus: %+v", results[1].T1)
 	}
-	entries, _, err := LoadCheckpoints(dir, cfg)
+	entries, _, err := LoadCheckpoints(context.Background(), dir, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

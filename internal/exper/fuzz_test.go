@@ -1,0 +1,59 @@
+package exper
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastmon/internal/safeio"
+)
+
+// FuzzCheckpointLoad throws arbitrary bytes at the checkpoint loader as
+// the on-disk content of one entry and checks the resume contract:
+// LoadCheckpoints never hard-fails because of one bad entry, and
+// anything it does serve carries the right circuit name and was
+// computed under the requesting configuration. Seeds cover the
+// interesting corruption classes — a valid CRC-stamped record, its
+// truncated halves (torn writes), a single bit flip (silent media
+// corruption), a version-skewed envelope, a legacy naked-JSON entry,
+// and an empty file.
+func FuzzCheckpointLoad(f *testing.F) {
+	cfg := smallCfg().Defaults()
+	good, err := safeio.MarshalRecord(fakeResult("s9234", cfg))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add(good[len(good)/2:])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte(`{"v":99,"crc32":"00000000","payload":{}}`))
+	f.Add([]byte(`{"name":"s9234","scale":0.05,"max_faults":800}`)) // legacy naked JSON
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "s9234.json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		entries, skipped, err := LoadCheckpoints(context.Background(), dir, cfg)
+		if err != nil {
+			t.Fatalf("one bad entry hard-failed the load: %v", err)
+		}
+		if len(entries)+len(skipped) != 1 {
+			t.Fatalf("entry neither served nor skipped: entries=%d skipped=%v", len(entries), skipped)
+		}
+		for name, res := range entries {
+			if name != "s9234" || res.Name != "s9234" {
+				t.Fatalf("served entry under wrong name: key=%q name=%q", name, res.Name)
+			}
+			if !res.Matches(cfg) {
+				t.Fatalf("served entry from a different configuration: %+v", res)
+			}
+		}
+	})
+}

@@ -41,6 +41,10 @@ const (
 	StageSchedule   Stage = "schedule"
 	StageExper      Stage = "exper"
 	StageCheckpoint Stage = "checkpoint"
+	// StageIO marks failures of the durable-I/O layer (internal/safeio):
+	// atomic file replacement, fsync, record checksum verification and
+	// the retry machinery around them.
+	StageIO Stage = "io"
 )
 
 // Error attributes a wrapped error to a pipeline stage and operation.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"fastmon/internal/bitset"
+	"fastmon/internal/chaos"
 	"fastmon/internal/fmerr"
 	"fastmon/internal/par"
 )
@@ -105,6 +106,9 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 	if !Coverable(sets, universe) {
 		return CoverResult{}, fmerr.Errorf(fmerr.StageSolve, "setcover",
 			"universe not coverable by the given sets")
+	}
+	if err := chaos.Point(ctx, ptSolve); err != nil {
+		return CoverResult{}, fmerr.Wrap(fmerr.StageSolve, "setcover", err)
 	}
 	// Entry check: with the budget already spent (or the flow cancelled)
 	// the greedy cover is the whole result.
@@ -294,6 +298,7 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 					fr.Abort()
 					return
 				}
+				chaos.Disturb(ctx, ptNode)
 			}
 			if opts.MaxNodes > 0 && nn > int64(opts.MaxNodes) {
 				stop.set(stopBudget)
@@ -301,6 +306,7 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 				return
 			}
 			if unc.Empty() {
+				chaos.Disturb(ctx, ptIncumbent)
 				if best.offer(cur, 0) {
 					incumbents.Add(1)
 				}
@@ -478,6 +484,9 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 	if err != nil {
 		return CoverResult{}, err
 	}
+	if err := chaos.Point(ctx, ptSolve); err != nil {
+		return CoverResult{}, fmerr.Wrap(fmerr.StageSolve, "partialcover", err)
+	}
 	// Entry check: see SetCover.
 	if s := checkCtx(ctx); s != stopNone {
 		res.Selected = incumbent
@@ -557,6 +566,7 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 					fr.Abort()
 					return
 				}
+				chaos.Disturb(ctx, ptNode)
 			}
 			if opts.MaxNodes > 0 && nn > int64(opts.MaxNodes) {
 				stop.set(stopBudget)
@@ -564,6 +574,7 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 				return
 			}
 			if cnt >= quota {
+				chaos.Disturb(ctx, ptIncumbent)
 				if best.offer(cur, cnt) {
 					incumbents.Add(1)
 				}

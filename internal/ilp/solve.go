@@ -5,9 +5,21 @@ import (
 	"math"
 	"sync/atomic"
 
+	"fastmon/internal/chaos"
 	"fastmon/internal/fmerr"
 	"fastmon/internal/obs"
 	"fastmon/internal/par"
+)
+
+// Chaos injection points of the solvers: an error-capable point at solve
+// entry, and panic/delay-only disturbances (the dfs has no error return
+// path) at node expansion and incumbent publication. An injected panic
+// rides the existing worker recover → fr.Abort → re-panic path, so it
+// exercises the same isolation machinery a real solver bug would.
+var (
+	ptSolve     = chaos.Register("ilp.solve", fmerr.StageSolve)
+	ptNode      = chaos.Register("ilp.node", fmerr.StageSolve)
+	ptIncumbent = chaos.Register("ilp.incumbent", fmerr.StageSolve)
 )
 
 // Options controls the solvers. The solver time budget is carried by the
@@ -119,6 +131,9 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 	if err := m.Validate(); err != nil {
 		return Solution{Value: math.Inf(1)}, fmerr.Wrap(fmerr.StageSolve, "model", err)
 	}
+	if err := chaos.Point(ctx, ptSolve); err != nil {
+		return Solution{Value: math.Inf(1)}, fmerr.Wrap(fmerr.StageSolve, "solve", err)
+	}
 	// Entry check: the generic solver has no cheap incumbent to fall back
 	// on, so a spent context yields an empty degraded solution.
 	if s := checkCtx(ctx); s != stopNone {
@@ -190,6 +205,7 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 					fr.Abort()
 					return
 				}
+				chaos.Disturb(ctx, ptNode)
 			}
 			if cost > best.val()+eps {
 				return
@@ -224,6 +240,7 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 						}
 					}
 					if m.Feasible(x) {
+						chaos.Disturb(ctx, ptIncumbent)
 						if best.offer(x, m.Value(x)) {
 							incumbents.Add(1)
 						}
@@ -246,6 +263,7 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 						x[j] = fixed[j] == 1
 					}
 					if m.Feasible(x) {
+						chaos.Disturb(ctx, ptIncumbent)
 						if best.offer(x, m.Value(x)) {
 							incumbents.Add(1)
 						}

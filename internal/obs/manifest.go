@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -11,7 +13,14 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"fastmon/internal/chaos"
+	"fastmon/internal/fmerr"
+	"fastmon/internal/safeio"
 )
+
+// ptManifestWrite is the chaos injection point for manifest emission.
+var ptManifestWrite = chaos.Register("obs.manifest.write", fmerr.StageIO)
 
 // Manifest is the machine-readable record of one run ("run.json"): build
 // provenance, the configuration it ran under (plus a fingerprint for
@@ -79,32 +88,46 @@ func (m *Manifest) Finish(o *Observer) {
 	m.Metrics = o.Metrics().Snapshot()
 }
 
-// WriteFile atomically writes the manifest as indented JSON.
-func (m *Manifest) WriteFile(path string) error {
-	data, err := json.MarshalIndent(m, "", "  ")
+// WriteFile durably writes the manifest as a CRC-stamped record:
+// fsync-then-rename atomic replacement (safeio) so a crash never leaves
+// a torn or missing run.json behind a completed run. Transient failures
+// are retried with backoff under ctx.
+func (m *Manifest) WriteFile(ctx context.Context, path string) error {
+	data, err := safeio.MarshalRecord(m)
 	if err != nil {
 		return fmt.Errorf("obs: marshal manifest: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("obs: write manifest: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("obs: rename manifest: %w", err)
-	}
-	return nil
+	return safeio.Retry(ctx, safeio.RetryPolicy{}, "manifest", func() (err error) {
+		// The manifest writer has no worker pool above it to isolate a
+		// panic (injected or real); convert it to a typed error here.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmerr.NewPanic(chaos.StageOf(r, fmerr.StageIO), path, r)
+			}
+		}()
+		if err := chaos.Point(ctx, ptManifestWrite); err != nil {
+			return err
+		}
+		return safeio.WriteFileAtomic(ctx, path, data, 0o644)
+	})
 }
 
-// ReadManifest loads a manifest written by WriteFile.
+// ReadManifest loads a manifest written by WriteFile, verifying its
+// checksum. Legacy pre-envelope manifests (naked JSON) still load;
+// records that fail verification are reported as corrupt.
 func ReadManifest(path string) (*Manifest, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var m Manifest
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("obs: parse manifest %s: %w", path, err)
+	if err := safeio.UnmarshalRecord(data, &m); err != nil {
+		if !errors.Is(err, safeio.ErrNotRecord) {
+			return nil, fmt.Errorf("obs: manifest %s: %w", path, err)
+		}
+		if jerr := json.Unmarshal(data, &m); jerr != nil {
+			return nil, fmt.Errorf("obs: parse manifest %s: %w", path, jerr)
+		}
 	}
 	return &m, nil
 }

@@ -36,7 +36,7 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 
 	path := filepath.Join(t.TempDir(), "run.json")
-	if err := m.WriteFile(path); err != nil {
+	if err := m.WriteFile(context.Background(), path); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadManifest(path)

@@ -1,0 +1,324 @@
+// Package safeio is the pipeline's durable-I/O layer: atomic file
+// replacement that survives crashes, CRC32-stamped JSON records that
+// make torn or silently corrupted files *detectable* instead of
+// *believable*, and a context-aware jittered-backoff retry for
+// transient failures.
+//
+// The durability contract, relied on by checkpoint/resume and the run
+// manifest:
+//
+//   - WriteFileAtomic never leaves a half-written file at the final
+//     path: data goes to a temp file in the same directory, is fsynced,
+//     renamed over the destination, and the directory is fsynced so the
+//     rename itself survives a crash. Every error path removes the temp
+//     file.
+//   - MarshalRecord/UnmarshalRecord wrap a JSON payload in a versioned
+//     envelope carrying a CRC32 (Castagnoli) of the compact payload
+//     bytes. A reader that sees a checksum mismatch — a torn write that
+//     did reach disk, a flipped bit — gets ErrCorrupt and must treat
+//     the record as missing (recompute), never serve it. Legacy files
+//     without the envelope yield ErrNotRecord so callers can fall back
+//     to reading naked JSON.
+//   - Retry re-runs an operation on *transient* errors only, with
+//     exponential backoff, deterministic jitter, capped attempts, and a
+//     hard rule: after context cancellation it never retries and it
+//     returns the last typed error from the operation, not a bare
+//     context error.
+//
+// Chaos integration: WriteFileAtomic passes the outgoing bytes through
+// the "safeio.write" data injection point, so a seeded soak run can
+// tear or bit-flip exactly the records this package promises to detect.
+package safeio
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fastmon/internal/chaos"
+	"fastmon/internal/fmerr"
+)
+
+// PointWrite is the data injection point every durable write passes
+// through: chaos may truncate the bytes (torn write, reported as an
+// error) or flip a bit (silent corruption, caught only by the CRC).
+var PointWrite = chaos.Register("safeio.write", fmerr.StageIO)
+
+// WriteFileAtomic durably replaces path with data: temp file in the
+// same directory → write → fsync → close → rename → fsync directory.
+// The temp file is removed on every error path. The context is used for
+// fault injection only; the write itself is not interruptible.
+func WriteFileAtomic(ctx context.Context, path string, data []byte, perm fs.FileMode) error {
+	data, injErr := chaos.Mutate(ctx, PointWrite, data)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmerr.Wrap(fmerr.StageIO, "create-temp", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(op string, err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmerr.Wrap(fmerr.StageIO, op, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail("chmod-temp", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail("write-temp", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("fsync-temp", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmerr.Wrap(fmerr.StageIO, "close-temp", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmerr.Wrap(fmerr.StageIO, "rename", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmerr.Wrap(fmerr.StageIO, "fsync-dir", err)
+	}
+	// An injected short write completed the atomic dance with truncated
+	// bytes — the torn record is on disk at the final path, exactly like
+	// a crash mid-write — and the caller learns the write failed.
+	if injErr != nil {
+		return fmerr.Wrap(fmerr.StageIO, "write", MarkTransient(injErr))
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// --- CRC-stamped records ----------------------------------------------------
+
+// ErrCorrupt marks a record whose checksum does not match its payload,
+// or whose envelope version is unknown. Readers must treat the record
+// as missing — recompute, never serve it.
+var ErrCorrupt = errors.New("safeio: record corrupt")
+
+// ErrNotRecord marks bytes that are not a checksummed record envelope
+// at all (e.g. a legacy naked-JSON file). Callers may fall back to
+// decoding the bytes directly.
+var ErrNotRecord = errors.New("safeio: not a checksummed record")
+
+// recordVersion is the current envelope version.
+const recordVersion = 1
+
+// castagnoli is the CRC32-C table (hardware-accelerated on most CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+type envelope struct {
+	V       int             `json:"v"`
+	CRC32   string          `json:"crc32"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// MarshalRecord encodes v as JSON and wraps it in a version-1 envelope
+// stamped with the CRC32-C of the compact payload bytes.
+func MarshalRecord(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmerr.Wrap(fmerr.StageIO, "marshal-record", err)
+	}
+	env := envelope{
+		V:       recordVersion,
+		CRC32:   fmt.Sprintf("%08x", crc32.Checksum(payload, castagnoli)),
+		Payload: payload,
+	}
+	out, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return nil, fmerr.Wrap(fmerr.StageIO, "marshal-record", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// UnmarshalRecord verifies data's envelope and decodes its payload into
+// v. It returns ErrNotRecord when data is not an envelope (legacy naked
+// JSON) and ErrCorrupt when the envelope is present but the checksum
+// does not verify or the version is unknown. The CRC is computed over
+// the *compacted* payload bytes, so re-indenting a record on disk does
+// not invalidate it.
+func UnmarshalRecord(data []byte, v any) error {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("%w: %v", ErrNotRecord, err)
+	}
+	if env.CRC32 == "" && env.V == 0 {
+		return ErrNotRecord
+	}
+	if env.V != recordVersion {
+		return fmt.Errorf("%w: unknown record version %d", ErrCorrupt, env.V)
+	}
+	if len(env.Payload) == 0 {
+		return fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Payload); err != nil {
+		return fmt.Errorf("%w: payload not valid JSON: %v", ErrCorrupt, err)
+	}
+	sum := fmt.Sprintf("%08x", crc32.Checksum(compact.Bytes(), castagnoli))
+	if sum != env.CRC32 {
+		return fmt.Errorf("%w: crc %s != stamped %s", ErrCorrupt, sum, env.CRC32)
+	}
+	if err := json.Unmarshal(env.Payload, v); err != nil {
+		return fmt.Errorf("%w: payload decode: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// --- retry ------------------------------------------------------------------
+
+// transientErr marks an error as retryable.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string { return e.err.Error() }
+func (e *transientErr) Unwrap() error { return e.err }
+
+// MarkTransient marks err as transient so Retry will re-run the
+// operation. A nil err returns nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// IsTransient reports whether err is retryable: explicitly marked via
+// MarkTransient, or a chaos-injected fault (transient by contract).
+// Cancellation is never transient.
+func IsTransient(err error) bool {
+	if err == nil || fmerr.IsCanceled(err) {
+		return false
+	}
+	var t *transientErr
+	if errors.As(err, &t) {
+		return true
+	}
+	var inj *chaos.Injected
+	return chaos.AsInjected(err, &inj)
+}
+
+// RetryPolicy parameterizes Retry. The zero value gets sane defaults:
+// 4 attempts, 2ms base, 100ms cap, doubling, 50% jitter.
+type RetryPolicy struct {
+	Attempts   int           // max attempts including the first (default 4)
+	Base       time.Duration // first backoff (default 2ms)
+	Max        time.Duration // backoff cap (default 100ms)
+	Multiplier float64       // backoff growth (default 2)
+	Jitter     float64       // fraction of the backoff randomized (default 0.5)
+	Seed       int64         // drives the deterministic jitter
+	// Sleep, if set, replaces the real backoff sleep (test hook). It
+	// must honor ctx and return ctx.Err() when cancelled.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p RetryPolicy) defaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 2 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 100 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.5
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// backoff returns the jittered delay before attempt i (0-based count of
+// failures so far). Deterministic in (Seed, i).
+func (p RetryPolicy) backoff(i int) time.Duration {
+	d := float64(p.Base)
+	for k := 0; k < i; k++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	// SplitMix64 over (seed, attempt) → uniform in [1-Jitter/2, 1+Jitter/2).
+	h := mix(uint64(p.Seed) ^ mix(uint64(i)+0x9e37))
+	u := float64(h>>11) / (1 << 53)
+	d *= 1 - p.Jitter/2 + p.Jitter*u
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	return time.Duration(d)
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Retry runs fn up to pol.Attempts times, backing off between attempts.
+// It retries only transient errors (IsTransient) and never after the
+// context is cancelled — in both cases it returns the last error fn
+// produced, stage-attributed to the I/O layer, so callers see the typed
+// failure rather than a bare context error.
+func Retry(ctx context.Context, pol RetryPolicy, op string, fn func() error) error {
+	pol = pol.defaults()
+	var last error
+	for i := 0; i < pol.Attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			if last == nil {
+				return fmerr.Wrap(fmerr.StageIO, op, err)
+			}
+			return fmerr.Wrap(fmerr.StageIO, op, last)
+		}
+		last = fn()
+		if last == nil {
+			return nil
+		}
+		if !IsTransient(last) || i == pol.Attempts-1 {
+			break
+		}
+		if err := pol.Sleep(ctx, pol.backoff(i)); err != nil {
+			// Cancelled mid-backoff: surface the operation's own last
+			// typed error, never retry again.
+			break
+		}
+	}
+	return fmerr.Wrap(fmerr.StageIO, op, last)
+}

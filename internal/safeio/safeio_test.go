@@ -1,0 +1,307 @@
+package safeio
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fastmon/internal/chaos"
+	"fastmon/internal/fmerr"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	ctx := context.Background()
+	if err := WriteFileAtomic(ctx, path, []byte("hello"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	// Overwrite in place.
+	if err := WriteFileAtomic(ctx, path, []byte("world"), 0o644); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "world" {
+		t.Fatalf("after rewrite: %q", got)
+	}
+	// No stray temp files.
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("stray files in dir: %v", ents)
+	}
+}
+
+func TestWriteFileAtomicCleansTempOnError(t *testing.T) {
+	dir := t.TempDir()
+	// Destination is a directory → rename must fail.
+	dest := filepath.Join(dir, "blocked")
+	if err := os.Mkdir(dest, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFileAtomic(context.Background(), dest, []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("rename over directory succeeded")
+	}
+	if fmerr.StageOf(err) != fmerr.StageIO {
+		t.Fatalf("stage = %q, want io", fmerr.StageOf(err))
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp file left behind: %v", ents)
+	}
+}
+
+func TestWriteFileAtomicChaosShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	in := chaos.New(chaos.Config{Seed: 5, Rate: 1, DataKinds: []chaos.Kind{chaos.KindShortWrite}})
+	ctx := chaos.With(context.Background(), in)
+	data := []byte(strings.Repeat("abcdefgh", 16))
+	err := WriteFileAtomic(ctx, path, data, 0o644)
+	var inj *chaos.Injected
+	if err == nil || !chaos.AsInjected(err, &inj) || inj.Kind != chaos.KindShortWrite {
+		t.Fatalf("short write err = %v", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("injected short write not classified transient")
+	}
+	// The torn bytes reached the final path — exactly like a crash.
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("torn file missing: %v", rerr)
+	}
+	if len(got) >= len(data) {
+		t.Fatalf("file not torn: %d bytes", len(got))
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	type payload struct {
+		Name string `json:"name"`
+		N    int    `json:"n"`
+	}
+	rec, err := MarshalRecord(payload{Name: "s9234", N: 7})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got payload
+	if err := UnmarshalRecord(rec, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Name != "s9234" || got.N != 7 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestRecordDetectsBitFlip(t *testing.T) {
+	rec, _ := MarshalRecord(map[string]int{"a": 1, "b": 2})
+	// Flip a bit inside the payload region.
+	i := strings.Index(string(rec), `"payload"`)
+	if i < 0 {
+		t.Fatal("no payload field")
+	}
+	corrupt := append([]byte(nil), rec...)
+	corrupt[i+12] ^= 0x01
+	var v map[string]int
+	err := UnmarshalRecord(corrupt, &v)
+	if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNotRecord) {
+		t.Fatalf("corrupted record accepted: %v", err)
+	}
+}
+
+func TestRecordDetectsTruncation(t *testing.T) {
+	rec, _ := MarshalRecord(map[string]string{"k": strings.Repeat("v", 100)})
+	var v map[string]string
+	for _, n := range []int{0, 1, len(rec) / 2, len(rec) - 2} {
+		err := UnmarshalRecord(rec[:n], &v)
+		if err == nil {
+			t.Fatalf("truncated record (%d bytes) accepted", n)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNotRecord) {
+			t.Fatalf("truncated record (%d bytes): untyped error %v", n, err)
+		}
+	}
+}
+
+func TestRecordRejectsVersionSkew(t *testing.T) {
+	rec, _ := MarshalRecord(map[string]int{"a": 1})
+	skewed := strings.Replace(string(rec), `"v": 1`, `"v": 99`, 1)
+	var v map[string]int
+	if err := UnmarshalRecord([]byte(skewed), &v); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version-skewed record: %v", err)
+	}
+}
+
+func TestRecordLegacyFallback(t *testing.T) {
+	var v map[string]int
+	err := UnmarshalRecord([]byte(`{"a": 1}`), &v)
+	if !errors.Is(err, ErrNotRecord) {
+		t.Fatalf("naked JSON: %v, want ErrNotRecord", err)
+	}
+}
+
+func TestRecordSurvivesReindentation(t *testing.T) {
+	rec, _ := MarshalRecord(map[string]int{"a": 1, "b": 2})
+	// Simulate a tool re-indenting the file: compact the whole envelope.
+	compact := strings.NewReplacer("\n", "", "  ", "").Replace(string(rec))
+	var v map[string]int
+	if err := UnmarshalRecord([]byte(compact), &v); err != nil {
+		t.Fatalf("re-indented record rejected: %v", err)
+	}
+	if v["a"] != 1 || v["b"] != 2 {
+		t.Fatalf("payload lost: %v", v)
+	}
+}
+
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	calls := 0
+	pol := RetryPolicy{Attempts: 4, Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := Retry(context.Background(), pol, "op", func() error {
+		calls++
+		if calls < 3 {
+			return MarkTransient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	calls := 0
+	perm := errors.New("permanent")
+	pol := RetryPolicy{Attempts: 5, Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := Retry(context.Background(), pol, "op", func() error {
+		calls++
+		return perm
+	})
+	if calls != 1 {
+		t.Fatalf("retried a permanent error %d times", calls)
+	}
+	if !errors.Is(err, perm) {
+		t.Fatalf("lost the typed error: %v", err)
+	}
+	if fmerr.StageOf(err) != fmerr.StageIO {
+		t.Fatalf("stage = %q", fmerr.StageOf(err))
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	pol := RetryPolicy{Attempts: 3, Sleep: func(context.Context, time.Duration) error { return nil }}
+	last := errors.New("still flaky")
+	err := Retry(context.Background(), pol, "op", func() error {
+		calls++
+		return MarkTransient(last)
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, last) {
+		t.Fatalf("lost last error: %v", err)
+	}
+}
+
+// TestRetryNeverRetriesAfterCancel is the property test from the issue:
+// across many seeds and cancellation points, Retry must never invoke fn
+// again after the context is cancelled, and must always return the last
+// typed error fn produced (not a bare context error) once fn has run.
+func TestRetryNeverRetriesAfterCancel(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		cancelAfter := int(seed % 5) // sleeps completed before cancel fires
+		ctx, cancel := context.WithCancel(context.Background())
+		typed := &chaos.Injected{Point: "p", Stage: fmerr.StageIO, Kind: chaos.KindError}
+		calls, callsAtCancel := 0, -1
+		sleeps := 0
+		pol := RetryPolicy{
+			Attempts: 8,
+			Seed:     seed,
+			Sleep: func(c context.Context, _ time.Duration) error {
+				if sleeps == cancelAfter {
+					cancel()
+					callsAtCancel = calls
+				}
+				sleeps++
+				return c.Err()
+			},
+		}
+		err := Retry(ctx, pol, "op", func() error {
+			calls++
+			return MarkTransient(typed)
+		})
+		cancel()
+		if callsAtCancel >= 0 && calls != callsAtCancel {
+			t.Fatalf("seed %d: fn called %d times after cancellation", seed, calls-callsAtCancel)
+		}
+		var inj *chaos.Injected
+		if !chaos.AsInjected(err, &inj) {
+			t.Fatalf("seed %d: lost the typed error, got %v", seed, err)
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Fatalf("seed %d: returned context error instead of typed op error: %v", seed, err)
+		}
+	}
+}
+
+// TestRetryCancelledBeforeFirstAttempt: if the context is already dead
+// and fn never ran, the context error is the only truthful answer.
+func TestRetryCancelledBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, RetryPolicy{}, "op", func() error { calls++; return nil })
+	if calls != 0 {
+		t.Fatalf("fn ran %d times on a dead context", calls)
+	}
+	if !fmerr.IsCanceled(err) {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+}
+
+func TestRetryBackoffDeterministicAndBounded(t *testing.T) {
+	pol := RetryPolicy{Seed: 123}.defaults()
+	again := RetryPolicy{Seed: 123}.defaults()
+	var prev time.Duration
+	for i := 0; i < 10; i++ {
+		d := pol.backoff(i)
+		if d != again.backoff(i) {
+			t.Fatalf("backoff(%d) nondeterministic", i)
+		}
+		if d <= 0 || d > pol.Max {
+			t.Fatalf("backoff(%d) = %v out of bounds (max %v)", i, d, pol.Max)
+		}
+		prev = d
+	}
+	_ = prev
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	if IsTransient(nil) {
+		t.Fatal("nil transient")
+	}
+	if IsTransient(context.Canceled) {
+		t.Fatal("cancellation transient")
+	}
+	if IsTransient(MarkTransient(context.Canceled)) {
+		t.Fatal("marked cancellation must stay non-transient")
+	}
+	if !IsTransient(MarkTransient(errors.New("x"))) {
+		t.Fatal("marked error not transient")
+	}
+	inj := &chaos.Injected{Point: "p", Kind: chaos.KindError}
+	if !IsTransient(fmerr.Wrap(fmerr.StageIO, "w", inj)) {
+		t.Fatal("wrapped chaos fault not transient")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Fatal("plain error transient")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"fastmon/internal/bitset"
+	"fastmon/internal/chaos"
 	"fastmon/internal/detect"
 	"fastmon/internal/dot"
 	"fastmon/internal/fmerr"
@@ -27,6 +28,14 @@ import (
 	"fastmon/internal/obs"
 	"fastmon/internal/par"
 	"fastmon/internal/tunit"
+)
+
+// Chaos injection points at the two optimization steps of Fig. 4's
+// scheduler: the Step-1 frequency-selection solve and each Step-2
+// per-period combo solve.
+var (
+	ptFreq  = chaos.Register("schedule.freq", fmerr.StageSchedule)
+	ptCombo = chaos.Register("schedule.combo", fmerr.StageSchedule)
 )
 
 // Method selects the optimization algorithm.
@@ -229,6 +238,9 @@ func Build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 	}
 
 	// Step 1: minimum clock-period selection.
+	if err := chaos.Point(ctx, ptFreq); err != nil {
+		return nil, fmerr.Wrap(fmerr.StageSchedule, "frequency-selection", err)
+	}
 	sets := make([]*bitset.Set, len(cands))
 	for i, c := range cands {
 		sets[i] = c.Faults
@@ -352,6 +364,8 @@ func Build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 			}
 			var err error
 			if cerr := ctx.Err(); cerr != nil {
+				err = fmerr.Wrap(fmerr.StageSchedule, "combo-selection", cerr)
+			} else if cerr := chaos.Point(ctx, ptCombo); cerr != nil {
 				err = fmerr.Wrap(fmerr.StageSchedule, "combo-selection", cerr)
 			} else {
 				err = optimizeCombos(ctx, data, &plans[pi], opt, delays, record)
