@@ -18,17 +18,30 @@
 // result is tagged with its package and speedup keys are prefixed with
 // the package base name. CI uploads the resulting files as build
 // artifacts.
+//
+// With -compare FILE the fresh run on stdin is diffed against a committed
+// report instead of being written out:
+//
+//	go test -run '^$' -bench BenchmarkDetect -json ./internal/sim |
+//	    benchjson -compare BENCH_detect.json -threshold 0.25
+//
+// prints a per-benchmark ns/op delta table and exits non-zero when any
+// shared benchmark is more than -threshold slower than its committed
+// number — a cheap local regression gate before updating the BENCH files.
 package main
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -183,13 +196,15 @@ func speedups(results []Result) map[string]float64 {
 	return out
 }
 
-func run(out string) error {
+// readReport parses a test2json (or plain -bench text) stream into a
+// finalized report.
+func readReport(in io.Reader) (*Report, error) {
 	var rep Report
 	// test2json splits a single benchmark result across several output
 	// events (the name is flushed before the numbers), so reassemble the
 	// full text stream first and parse it line by line afterwards.
 	var text strings.Builder
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -204,15 +219,23 @@ func run(out string) error {
 		text.WriteByte('\n')
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	for _, line := range strings.Split(text.String(), "\n") {
 		parseLine(line, &rep)
 	}
 	if len(rep.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark results on stdin")
+		return nil, fmt.Errorf("no benchmark results on stdin")
 	}
 	rep.finalize()
+	return &rep, nil
+}
+
+func run(out string) error {
+	rep, err := readReport(os.Stdin)
+	if err != nil {
+		return err
+	}
 	if out == "-" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -241,10 +264,128 @@ func run(out string) error {
 	})
 }
 
+// loadReport reads a committed benchmark report: a CRC-stamped safeio
+// record (the -o format) or legacy naked JSON.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := safeio.UnmarshalRecord(data, &rep); err != nil {
+		if !errors.Is(err, safeio.ErrNotRecord) {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if jerr := json.Unmarshal(data, &rep); jerr != nil {
+			return nil, fmt.Errorf("%s: %w", path, jerr)
+		}
+	}
+	return &rep, nil
+}
+
+// delta is one benchmark's baseline-vs-fresh comparison; Ratio is
+// fresh/baseline ns/op (1.10 = 10% slower than the committed numbers).
+type delta struct {
+	Name    string
+	BaseNs  float64
+	FreshNs float64
+	Ratio   float64
+}
+
+// compareReports matches benchmarks by (package, name) and returns the
+// per-benchmark deltas plus names present on only one side. Benchmarks
+// without a committed counterpart cannot regress; dropped ones are
+// surfaced so a silently-deleted benchmark does not pass unnoticed.
+func compareReports(base, fresh *Report) (deltas []delta, added, removed []string) {
+	key := func(r Result) string { return r.Pkg + "\x00" + r.Name }
+	label := func(r Result) string {
+		if r.Pkg != "" {
+			return path.Base(r.Pkg) + "." + r.Name
+		}
+		return r.Name
+	}
+	baseNs := map[string]float64{}
+	baseSeen := map[string]bool{}
+	for _, r := range base.Benchmarks {
+		baseNs[key(r)] = r.NsPerOp
+	}
+	for _, r := range fresh.Benchmarks {
+		b, ok := baseNs[key(r)]
+		if !ok {
+			added = append(added, label(r))
+			continue
+		}
+		baseSeen[key(r)] = true
+		d := delta{Name: label(r), BaseNs: b, FreshNs: r.NsPerOp}
+		if b > 0 {
+			d.Ratio = r.NsPerOp / b
+		}
+		deltas = append(deltas, d)
+	}
+	for _, r := range base.Benchmarks {
+		if !baseSeen[key(r)] {
+			removed = append(removed, label(r))
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Ratio > deltas[j].Ratio })
+	sort.Strings(added)
+	sort.Strings(removed)
+	return deltas, added, removed
+}
+
+// runCompare diffs a fresh bench run on stdin against the committed
+// report at basePath and fails (non-nil error) when any shared benchmark
+// is more than threshold slower than its committed ns/op. It never
+// writes -o: compare mode is a read-only regression gate.
+func runCompare(w io.Writer, in io.Reader, basePath string, threshold float64) error {
+	fresh, err := readReport(in)
+	if err != nil {
+		return err
+	}
+	base, err := loadReport(basePath)
+	if err != nil {
+		return err
+	}
+	deltas, added, removed := compareReports(base, fresh)
+	if len(deltas) == 0 {
+		return fmt.Errorf("no benchmarks in common with %s", basePath)
+	}
+	var regressed []string
+	fmt.Fprintf(w, "# benchjson compare vs %s (threshold +%.0f%%)\n", basePath, threshold*100)
+	for _, d := range deltas {
+		mark := ""
+		if d.Ratio > 1+threshold {
+			mark = "  REGRESSION"
+			regressed = append(regressed, d.Name)
+		}
+		fmt.Fprintf(w, "%-48s %14.0f -> %14.0f ns/op  %+.1f%%%s\n",
+			d.Name, d.BaseNs, d.FreshNs, (d.Ratio-1)*100, mark)
+	}
+	for _, n := range added {
+		fmt.Fprintf(w, "%-48s (new: no committed baseline)\n", n)
+	}
+	for _, n := range removed {
+		fmt.Fprintf(w, "%-48s (missing from this run)\n", n)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond +%.0f%%: %s",
+			len(regressed), threshold*100, strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_detect.json", "output path (- for stdout)")
+	compare := flag.String("compare", "", "diff the fresh run on stdin against this committed report instead of writing -o; exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.25, "relative ns/op slowdown that fails -compare (0.25 = 25%)")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	var err error
+	if *compare != "" {
+		err = runCompare(os.Stdout, os.Stdin, *compare, *threshold)
+	} else {
+		err = run(*out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

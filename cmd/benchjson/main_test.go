@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastmon/internal/safeio"
+)
 
 func TestParseLinePlain(t *testing.T) {
 	var rep Report
@@ -91,5 +99,93 @@ func TestSerialParallelPairing(t *testing.T) {
 	})
 	if len(got) != 1 || got["BenchmarkSetCover"] != 3 {
 		t.Fatalf("speedups = %v, want BenchmarkSetCover:3 only", got)
+	}
+}
+
+func writeBaseline(t *testing.T, rep *Report, naked bool) string {
+	t.Helper()
+	var data []byte
+	var err error
+	if naked {
+		data, err = json.Marshal(rep)
+	} else {
+		data, err = safeio.MarshalRecord(rep)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkDetect/event", NsPerOp: 100},
+		{Name: "BenchmarkSetCover/parallel", NsPerOp: 1000},
+	}}
+	path := writeBaseline(t, base, false)
+	fresh := "BenchmarkDetect/event-8 \t 10\t 250 ns/op\n" + // 2.5x slower
+		"BenchmarkSetCover/parallel-8 \t 10\t 1010 ns/op\n" // within threshold
+	var out strings.Builder
+	err := runCompare(&out, strings.NewReader(fresh), path, 0.25)
+	if err == nil {
+		t.Fatalf("2.5x regression passed:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkDetect/event") {
+		t.Fatalf("error does not name the regressed benchmark: %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("report does not flag the regression:\n%s", out.String())
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	base := &Report{Benchmarks: []Result{{Name: "BenchmarkDetect/event", NsPerOp: 100}}}
+	path := writeBaseline(t, base, false)
+	var out strings.Builder
+	err := runCompare(&out, strings.NewReader("BenchmarkDetect/event-8 \t 10\t 120 ns/op\n"), path, 0.25)
+	if err != nil {
+		t.Fatalf("20%% slowdown failed a 25%% threshold: %v\n%s", err, out.String())
+	}
+}
+
+func TestCompareLoadsNakedJSONBaseline(t *testing.T) {
+	base := &Report{Benchmarks: []Result{{Name: "BenchmarkDetect/event", NsPerOp: 100}}}
+	path := writeBaseline(t, base, true)
+	var out strings.Builder
+	if err := runCompare(&out, strings.NewReader("BenchmarkDetect/event-8 \t 10\t 100 ns/op\n"), path, 0.25); err != nil {
+		t.Fatalf("legacy naked-JSON baseline rejected: %v", err)
+	}
+}
+
+func TestCompareSurfacesAddedAndRemoved(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkDetect/event", NsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 5},
+	}}
+	deltas, added, removed := compareReports(base, &Report{Benchmarks: []Result{
+		{Name: "BenchmarkDetect/event", NsPerOp: 110},
+		{Name: "BenchmarkNew", NsPerOp: 7},
+	}})
+	if len(deltas) != 1 || deltas[0].Name != "BenchmarkDetect/event" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if len(added) != 1 || added[0] != "BenchmarkNew" {
+		t.Fatalf("added = %v", added)
+	}
+	if len(removed) != 1 || removed[0] != "BenchmarkGone" {
+		t.Fatalf("removed = %v", removed)
+	}
+}
+
+func TestCompareNoOverlapIsAnError(t *testing.T) {
+	base := &Report{Benchmarks: []Result{{Name: "BenchmarkOther", NsPerOp: 1}}}
+	path := writeBaseline(t, base, false)
+	var out strings.Builder
+	if err := runCompare(&out, strings.NewReader("BenchmarkDetect/event-8 \t 10\t 100 ns/op\n"), path, 0.25); err == nil {
+		t.Fatal("disjoint benchmark sets compared clean")
 	}
 }

@@ -20,6 +20,8 @@ import (
 
 	"fastmon"
 	"fastmon/internal/exper"
+	"fastmon/internal/obs/flight"
+	"fastmon/internal/obshttp"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-period schedule details and stage spans")
 
 		jsonLogs   = flag.Bool("json-logs", false, "emit stage telemetry as JSON lines on stderr")
+		listen     = flag.String("listen", "", "serve live introspection (/metrics, /progress, /flight, pprof) on this address (empty disables)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -69,7 +72,22 @@ func main() {
 	} else if *verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	}
-	ctx = fastmon.WithObserver(ctx, fastmon.NewObserver(logger))
+	o := fastmon.NewObserver(logger)
+	ctx = fastmon.WithObserver(ctx, o)
+
+	// Live introspection: -listen attaches a flight recorder to the
+	// observer and serves /metrics, /flight and pprof while the flow runs.
+	if *listen != "" {
+		rec := flight.New(flight.DefaultCapacity)
+		o.AttachFlight(rec)
+		srv, err := obshttp.Start(ctx, *listen, obshttp.Options{Observer: o, Flight: rec})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fastmon:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# introspection: http://%s/ (metrics, flight, debug/pprof)\n", srv.Addr())
+	}
 
 	code := 0
 	if err := run(ctx, *benchPath, *vlogPath, *topName, *sdfPath, *genName, *scale, *method, *coverage, *sample, *budget, *seed, *workers, *patsOut, *verbose); err != nil {

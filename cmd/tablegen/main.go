@@ -27,12 +27,15 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"fastmon/internal/aging"
 	"fastmon/internal/chaos"
 	"fastmon/internal/exper"
 	"fastmon/internal/obs"
+	"fastmon/internal/obs/flight"
+	"fastmon/internal/obshttp"
 	"fastmon/internal/schedule"
 )
 
@@ -49,11 +52,17 @@ type options struct {
 	verbose  bool   // -v: per-stage span logging
 	jsonLogs bool   // -json-logs: structured JSON log lines
 	manifest string // -manifest: run.json output path ("" disables)
+	listen   string // -listen: live introspection server address ("" disables)
 
 	// chaosRate > 0 enables deterministic fault injection at every
 	// registered chaos point, driven by chaosSeed (see internal/chaos).
 	chaosSeed int64
 	chaosRate float64
+
+	// rec is the flight recorder shared between main (SIGQUIT dumps) and
+	// the run (event recording, introspection server); nil when disabled
+	// with -flight "".
+	rec *flight.Recorder
 }
 
 func main() {
@@ -78,6 +87,9 @@ func main() {
 
 		chaosSeed = flag.Int64("chaos.seed", 0, "seed for deterministic fault injection (same seed, same faults)")
 		chaosRate = flag.Float64("chaos.rate", 0, "per-point fault injection probability in [0,1] (0 disables chaos)")
+
+		listen    = flag.String("listen", "", "serve live introspection (/metrics, /progress, /flight, pprof) on this address (empty disables)")
+		flightOut = flag.String("flight", "flight.jsonl", "flight-recorder dump path, written on panics/failures/SIGQUIT (empty disables the recorder)")
 
 		verbose    = flag.Bool("v", false, "log per-stage spans and telemetry to stderr")
 		jsonLogs   = flag.Bool("json-logs", false, "emit logs as JSON lines (machine-readable)")
@@ -106,7 +118,14 @@ func main() {
 		ablate: *ablate, robust: *robust, lifetime: *lifetime,
 		steps: *steps, ckptDir: *ckpt, resume: *resume,
 		verbose: *verbose, jsonLogs: *jsonLogs, manifest: *manifest,
-		chaosSeed: *chaosSeed, chaosRate: *chaosRate,
+		listen: *listen, chaosSeed: *chaosSeed, chaosRate: *chaosRate,
+	}
+	// The flight recorder journals structured pipeline events into a
+	// fixed-size ring; it is dumped as JSONL on recovered panics, failed
+	// runs and SIGQUIT, and served live at /flight under -listen.
+	if *flightOut != "" || opts.listen != "" {
+		opts.rec = flight.New(flight.DefaultCapacity)
+		opts.rec.DumpPath = *flightOut
 	}
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile, *traceOut)
@@ -133,6 +152,23 @@ func main() {
 		cancel()
 	}()
 
+	// SIGQUIT dumps the flight recorder on demand without stopping the
+	// run — a live post-mortem of the last ~8k pipeline events.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	defer signal.Stop(quitCh)
+	go func() {
+		for range quitCh {
+			path, err := opts.rec.AutoDump("SIGQUIT")
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "# flight: dump failed: %v\n", err)
+			case path != "":
+				fmt.Fprintf(os.Stderr, "# flight: dumped %s\n", path)
+			}
+		}
+	}()
+
 	code := 0
 	if err := run(ctx, os.Stdout, os.Stderr, cfg, opts, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
@@ -155,21 +191,44 @@ func run(ctx context.Context, out, log io.Writer, cfg exper.SuiteConfig, opts op
 	}
 
 	// Telemetry: spans and metrics are always collected (the manifest
-	// needs them); log output depends on -v / -json-logs.
+	// needs them); log output depends on -v / -json-logs. The flight
+	// recorder rides the observer so every stage can journal events.
 	o := obs.New(newLogger(log, opts))
+	o.AttachFlight(opts.rec)
 	ctx = obs.With(ctx, o)
 
 	// Deterministic fault injection: -chaos.rate attaches an injector to
 	// the context, arming every registered chaos point in the pipeline.
 	// The injection decisions are a pure function of -chaos.seed, so a
-	// failing run replays from its seed alone.
+	// failing run replays from its seed alone. Every fired fault is
+	// counted per point (chaos.fired.<point>) and journaled in the
+	// flight recorder, so a crash dump names the injection that caused it.
+	var inj *chaos.Injector
 	if opts.chaosRate > 0 {
-		in := chaos.New(chaos.Config{Seed: opts.chaosSeed, Rate: opts.chaosRate})
-		ctx = chaos.With(ctx, in)
+		inj = chaos.New(chaos.Config{Seed: opts.chaosSeed, Rate: opts.chaosRate,
+			OnFault: func(f chaos.Fault) {
+				o.Counter("chaos.fired." + f.Point).Add(1)
+				opts.rec.Record(flight.Event{Kind: flight.KindChaos, Name: f.Point,
+					Stage: string(f.Stage), Detail: f.Kind.String(), Value: int64(f.Seq)})
+			}})
+		ctx = chaos.With(ctx, inj)
 		fmt.Fprintf(log, "# chaos: injecting faults at rate %g (seed %d)\n", opts.chaosRate, opts.chaosSeed)
 		defer func() {
-			fmt.Fprintf(log, "# chaos: %d faults injected %v\n", in.Fired(), in.Snapshot())
+			fmt.Fprintf(log, "# chaos: %d faults injected %v\n", inj.Fired(), inj.Snapshot())
 		}()
+	}
+
+	// Live introspection: -listen serves /metrics, /progress (SSE),
+	// /flight and pprof for the duration of the run.
+	var srv *obshttp.Server
+	if opts.listen != "" {
+		var err error
+		srv, err = obshttp.Start(ctx, opts.listen, obshttp.Options{Observer: o, Flight: opts.rec})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(log, "# introspection: http://%s/ (metrics, progress, flight, debug/pprof)\n", srv.Addr())
 	}
 
 	var results []*exper.CircuitResult
@@ -177,6 +236,10 @@ func run(ctx context.Context, out, log io.Writer, cfg exper.SuiteConfig, opts op
 		man := obs.NewManifest("tablegen", cfg)
 		defer func() {
 			man.Circuits = results
+			if inj != nil {
+				man.Chaos = &obs.ChaosReport{Seed: inj.Seed(), Rate: opts.chaosRate,
+					Fired: inj.Fired(), Points: inj.Snapshot()}
+			}
 			man.Finish(o)
 			// The manifest must land even when the run itself was
 			// cancelled, so the write uses a fresh context — keeping the
@@ -203,6 +266,7 @@ func run(ctx context.Context, out, log io.Writer, cfg exper.SuiteConfig, opts op
 	}
 
 	progress := func(ev exper.SuiteEvent) {
+		srv.Publish("progress", ev) // no-op without -listen
 		pos := fmt.Sprintf("[%d/%d]", ev.Index+1, ev.Total)
 		switch {
 		case ev.Res == nil:
@@ -217,6 +281,15 @@ func run(ctx context.Context, out, log io.Writer, cfg exper.SuiteConfig, opts op
 	}
 	var runErr error
 	results, runErr = exper.RunSuiteCheckpointed(ctx, cfg, req, dir, stop, progress)
+	if runErr != nil {
+		// Post-mortem: dump the flight ring alongside the failure so the
+		// event journal leading up to it is preserved.
+		if path, derr := opts.rec.AutoDump("suite error: " + runErr.Error()); derr != nil {
+			fmt.Fprintf(log, "# flight: dump failed: %v\n", derr)
+		} else if path != "" {
+			fmt.Fprintf(log, "# flight: dumped %s\n", path)
+		}
+	}
 	if runErr != nil && len(results) == 0 {
 		return runErr
 	}

@@ -162,6 +162,22 @@ type Config struct {
 	// DataKinds are the fault kinds drawn at data points (Mutate);
 	// default {ShortWrite, BitFlip}.
 	DataKinds []Kind
+	// OnFault, when set, observes every fired injection decision just
+	// before the fault takes effect — the hook CLIs use to count per-point
+	// injections on the obs registry and journal them in the flight
+	// recorder. It is called from whatever goroutine hit the point, so it
+	// must be safe for concurrent use and cheap; it must not panic.
+	OnFault func(Fault)
+}
+
+// Fault describes one fired injection decision, as seen by
+// Config.OnFault observers.
+type Fault struct {
+	Point string
+	Stage fmerr.Stage
+	Kind  Kind
+	// Seq is the per-point call sequence number that fired.
+	Seq uint64
 }
 
 func (c Config) defaults() Config {
@@ -297,6 +313,9 @@ func (in *Injector) decide(name string, kinds []Kind) (kind Kind, seq uint64, fi
 	}
 	ps.fired.Add(1)
 	kind = kinds[splitmix64(h)%uint64(len(kinds))]
+	if in.cfg.OnFault != nil {
+		in.cfg.OnFault(Fault{Point: name, Stage: StageOfPoint(name), Kind: kind, Seq: seq})
+	}
 	return kind, seq, true
 }
 

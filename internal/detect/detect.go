@@ -25,6 +25,7 @@ import (
 	"fastmon/internal/interval"
 	"fastmon/internal/monitor"
 	"fastmon/internal/obs"
+	"fastmon/internal/obs/flight"
 	"fastmon/internal/par"
 	"fastmon/internal/sim"
 	"fastmon/internal/tunit"
@@ -214,6 +215,9 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 	// utilization is the busy fraction of the pool's wall-clock capacity.
 	start := time.Now()
 	_, span := obs.StartSpan(ctx, "detect")
+	// The flight recorder journals worker lifecycle transitions (nil-safe
+	// no-op without one); hoisted out of the worker loops.
+	rec := obs.From(ctx).Flight()
 	var nSims, nDetections, nPanics, nSkipped, busyNs atomic.Int64
 	var simStats sim.Stats
 	var statsMu sync.Mutex
@@ -311,12 +315,16 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				rec.Record(flight.Event{Kind: flight.KindWorker, Name: "detect.baseline", Stage: "detect", Detail: "start", Value: int64(w)})
+				defer rec.Record(flight.Event{Kind: flight.KindWorker, Name: "detect.baseline", Stage: "detect", Detail: "done", Value: int64(w)})
 				cur := -1
 				defer func() {
 					if r := recover(); r != nil {
 						nPanics.Add(1)
+						rec.Record(flight.Event{Kind: flight.KindPanic, Name: "detect.baseline", Stage: "detect",
+							Detail: fmt.Sprintf("baseline for pattern %d: %v", cur, r), Value: int64(w)})
 						fail(fmerr.NewPanic(fmerr.StageDetect,
 							fmt.Sprintf("baseline for pattern %d", cur), r))
 					}
@@ -341,7 +349,7 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 					}
 					busyNs.Add(int64(time.Since(t0)))
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 		if failed() {
@@ -353,8 +361,10 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 		var scursor atomic.Int64
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				rec.Record(flight.Event{Kind: flight.KindWorker, Name: "detect.shard", Stage: "detect", Detail: "start", Value: int64(w)})
+				defer rec.Record(flight.Event{Kind: flight.KindWorker, Name: "detect.shard", Stage: "detect", Detail: "done", Value: int64(w)})
 				// curFault/curPat track the work item for panic attribution.
 				curFault, curPat := -1, -1
 				defer func() {
@@ -365,6 +375,8 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 							item = fmt.Sprintf("fault %s under pattern %d",
 								faults[curFault].Injection(cfg.Delta), curPat)
 						}
+						rec.Record(flight.Event{Kind: flight.KindPanic, Name: "detect.shard", Stage: "detect",
+							Detail: fmt.Sprintf("%s: %v", item, r), Value: int64(w)})
 						fail(fmerr.NewPanic(fmerr.StageDetect, item, r))
 					}
 				}()
@@ -439,7 +451,7 @@ func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 					}
 					busyNs.Add(int64(time.Since(t0)))
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 		if failed() {

@@ -16,6 +16,7 @@ import (
 	"fastmon/internal/chaos"
 	"fastmon/internal/fmerr"
 	"fastmon/internal/obs"
+	"fastmon/internal/obs/flight"
 	"fastmon/internal/par"
 	"fastmon/internal/safeio"
 	"fastmon/internal/schedule"
@@ -131,6 +132,10 @@ func SaveCheckpoint(ctx context.Context, dir string, res *CircuitResult) error {
 		}
 		return safeio.WriteFileAtomic(ctx, path, data, 0o644)
 	})
+	if err == nil {
+		obs.From(ctx).Flight().Record(flight.Event{Kind: flight.KindCheckpoint,
+			Name: res.Name, Stage: "checkpoint", Detail: path, Value: int64(len(data))})
+	}
 	return fmerr.Wrap(fmerr.StageCheckpoint, "write", err)
 }
 
@@ -319,10 +324,16 @@ func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest
 	// Suite-level panic isolation: the harness entry points (checkpoint
 	// load, dispatch bookkeeping) run outside the per-circuit recover, so
 	// a panic there — including an injected one — must still surface as a
-	// typed error, never escape to the caller.
+	// typed error, never escape to the caller. The flight recorder (when
+	// attached) journals the panic and dumps its ring for post-mortem.
+	rec := obs.From(ctx).Flight()
 	defer func() {
 		if r := recover(); r != nil {
-			results, err = nil, fmerr.NewPanic(chaos.StageOf(r, fmerr.StageExper), "suite", r)
+			pe := fmerr.NewPanic(chaos.StageOf(r, fmerr.StageExper), "suite", r)
+			rec.Record(flight.Event{Kind: flight.KindPanic, Name: "suite",
+				Stage: string(pe.Stage), Detail: pe.Error()})
+			rec.AutoDump("recovered panic") //nolint:errcheck // best-effort post-mortem
+			results, err = nil, pe
 		}
 	}()
 
@@ -383,7 +394,11 @@ func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest
 	runOne := func(spec Spec, creq TableRequest) (res *CircuitResult, err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmerr.NewPanic(chaos.StageOf(r, fmerr.StageExper), spec.Name, r)
+				pe := fmerr.NewPanic(chaos.StageOf(r, fmerr.StageExper), spec.Name, r)
+				rec.Record(flight.Event{Kind: flight.KindPanic, Name: spec.Name,
+					Stage: string(pe.Stage), Detail: pe.Error()})
+				rec.AutoDump("recovered panic") //nolint:errcheck // best-effort post-mortem
+				err = pe
 			}
 		}()
 		if err := chaos.Point(ctx, ptCircuit); err != nil {
@@ -400,7 +415,9 @@ func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest
 		}
 		return res, nil
 	}
-	par.Run(workers, func(int) {
+	par.Run(workers, func(w int) {
+		rec.Record(flight.Event{Kind: flight.KindWorker, Name: "exper.suite", Stage: "exper", Detail: "start", Value: int64(w)})
+		defer rec.Record(flight.Event{Kind: flight.KindWorker, Name: "exper.suite", Stage: "exper", Detail: "done", Value: int64(w)})
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= len(specs) || halted.Load() {

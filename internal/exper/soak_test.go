@@ -3,9 +3,11 @@ package exper
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -13,6 +15,8 @@ import (
 
 	"fastmon/internal/chaos"
 	"fastmon/internal/fmerr"
+	"fastmon/internal/obs"
+	"fastmon/internal/obs/flight"
 )
 
 // The chaos soak: run the Fig.-4 pipeline end to end under randomized
@@ -28,10 +32,11 @@ import (
 // Failing seeds replay deterministically: rerun with -soak.first=SEED
 // -soak.seeds=1, or at the CLI with tablegen -chaos.seed=SEED.
 var (
-	soakSeeds  = flag.Int("soak.seeds", 8, "number of chaos soak seeds")
-	soakFirst  = flag.Int64("soak.first", 0, "first soak seed (replay a failing seed with -soak.seeds=1)")
-	soakRate   = flag.Float64("soak.rate", 0.02, "per-point injection probability")
-	soakReport = flag.String("soak.report", "", "append failing seeds to this file for artifact upload")
+	soakSeeds     = flag.Int("soak.seeds", 8, "number of chaos soak seeds")
+	soakFirst     = flag.Int64("soak.first", 0, "first soak seed (replay a failing seed with -soak.seeds=1)")
+	soakRate      = flag.Float64("soak.rate", 0.02, "per-point injection probability")
+	soakReport    = flag.String("soak.report", "", "append failing seeds to this file for artifact upload")
+	soakFlightDir = flag.String("soak.flightdir", "", "write per-seed flight-recorder dumps here on failure")
 )
 
 // soakCfg keeps one seed cheap enough for hundred-seed sweeps while
@@ -139,15 +144,31 @@ func TestChaosSoak(t *testing.T) {
 		seed := *soakFirst + int64(i)
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
+			// Each seed gets its own flight recorder; a failing seed dumps
+			// its event journal for artifact upload (-soak.flightdir).
+			rec := flight.New(flight.DefaultCapacity)
+			if *soakFlightDir != "" {
+				if err := os.MkdirAll(*soakFlightDir, 0o755); err != nil {
+					t.Fatalf("flight dir: %v", err)
+				}
+				rec.DumpPath = filepath.Join(*soakFlightDir, fmt.Sprintf("seed-%d.jsonl", seed))
+			}
 			fail := func(format string, args ...any) {
 				mu.Lock()
 				failing = append(failing, seed)
 				mu.Unlock()
+				if path, derr := rec.AutoDump("soak failure"); derr != nil {
+					t.Logf("flight dump failed: %v", derr)
+				} else if path != "" {
+					t.Logf("flight dump: %s", path)
+				}
 				t.Errorf(format, args...)
 			}
 			dir := t.TempDir()
 			in := chaos.New(soakProfile(seed, *soakRate))
-			cctx := chaos.With(context.Background(), in)
+			o := obs.New(nil)
+			o.AttachFlight(rec)
+			cctx := chaos.With(obs.With(context.Background(), o), in)
 
 			done := make(chan soakOutcome, 1)
 			go func() {
@@ -265,5 +286,57 @@ func TestCheckpointDirSurvivesTornWrite(t *testing.T) {
 	}
 	if len(skipped) != 1 {
 		t.Fatalf("torn checkpoint not reported: %v", skipped)
+	}
+}
+
+// TestInjectedPanicDumpsFlight pins the post-mortem contract: a chaos
+// panic injected at the exper.circuit dispatch point is recovered into a
+// typed *fmerr.PanicError AND leaves a readable JSONL flight dump whose
+// panic event names the stage and the injection point that fired.
+func TestInjectedPanicDumpsFlight(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "flight.jsonl")
+	rec := flight.New(1024)
+	rec.DumpPath = dump
+	o := obs.New(nil)
+	o.AttachFlight(rec)
+	ctx := obs.With(context.Background(), o)
+	in := chaos.New(chaos.Config{
+		Seed:  1,
+		Rates: map[string]float64{"exper.circuit": 1}, // only the dispatch point fires
+		Kinds: []chaos.Kind{chaos.KindPanic},
+	})
+	ctx = chaos.With(ctx, in)
+
+	_, err := RunSuiteCheckpointed(ctx, smallCfg(), TableRequest{T1: true}, "", nil, nil)
+	var pe *fmerr.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("injected panic did not surface as *fmerr.PanicError: %v", err)
+	}
+	if pe.Stage != fmerr.StageExper {
+		t.Fatalf("panic attributed to stage %q, want exper", pe.Stage)
+	}
+
+	data, rerr := os.ReadFile(dump)
+	if rerr != nil {
+		t.Fatalf("no flight dump written: %v", rerr)
+	}
+	var panicEv *flight.Event
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev flight.Event
+		if jerr := json.Unmarshal([]byte(line), &ev); jerr != nil {
+			t.Fatalf("dump line is not valid JSON: %q: %v", line, jerr)
+		}
+		if ev.Kind == flight.KindPanic {
+			panicEv = &ev
+		}
+	}
+	if panicEv == nil {
+		t.Fatalf("dump holds no panic event:\n%s", data)
+	}
+	if panicEv.Stage != "exper" {
+		t.Errorf("panic event stage = %q, want exper", panicEv.Stage)
+	}
+	if !strings.Contains(panicEv.Detail, "exper.circuit") {
+		t.Errorf("panic event does not name the chaos point: %q", panicEv.Detail)
 	}
 }

@@ -3,11 +3,14 @@ package ilp
 import (
 	"context"
 	"sort"
+	"strconv"
 	"sync/atomic"
 
 	"fastmon/internal/bitset"
 	"fastmon/internal/chaos"
 	"fastmon/internal/fmerr"
+	"fastmon/internal/obs"
+	"fastmon/internal/obs/flight"
 	"fastmon/internal/par"
 )
 
@@ -272,6 +275,7 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 	// tie-break makes the outcome interleaving-independent.
 	workers := par.ClampWorkers(opts.Workers)
 	best := newBestList(incumbent, 0)
+	frec := obs.From(ctx).Flight()
 	var (
 		nodes, incumbents, stolen atomic.Int64
 		stop                      stopFlag
@@ -308,7 +312,8 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 			if unc.Empty() {
 				chaos.Disturb(ctx, ptIncumbent)
 				if best.offer(cur, 0) {
-					incumbents.Add(1)
+					frec.Record(flight.Event{Kind: flight.KindIncumbent, Name: "ilp.cover", Stage: "solve",
+						Detail: strconv.Itoa(len(cur)) + " sets", Value: incumbents.Add(1)})
 				}
 				return
 			}
@@ -525,6 +530,7 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 		seedCov.Or(sub[si])
 	}
 	best := newBestList(incumbent, seedCov.Count())
+	frec := obs.From(ctx).Flight()
 	var (
 		nodes, incumbents, stolen atomic.Int64
 		stop                      stopFlag
@@ -576,7 +582,8 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 			if cnt >= quota {
 				chaos.Disturb(ctx, ptIncumbent)
 				if best.offer(cur, cnt) {
-					incumbents.Add(1)
+					frec.Record(flight.Event{Kind: flight.KindIncumbent, Name: "ilp.partial", Stage: "solve",
+						Detail: strconv.Itoa(len(cur)) + " sets", Value: incumbents.Add(1)})
 				}
 				return
 			}

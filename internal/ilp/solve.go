@@ -3,11 +3,13 @@ package ilp
 import (
 	"context"
 	"math"
+	"strconv"
 	"sync/atomic"
 
 	"fastmon/internal/chaos"
 	"fastmon/internal/fmerr"
 	"fastmon/internal/obs"
+	"fastmon/internal/obs/flight"
 	"fastmon/internal/par"
 )
 
@@ -146,6 +148,9 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 	}
 	n := m.NumVars()
 	workers := par.ClampWorkers(opts.Workers)
+	// frec journals incumbent publications (nil-safe no-op when the run
+	// carries no flight recorder).
+	frec := obs.From(ctx).Flight()
 	best := newBestSol()
 	var (
 		nodes, incumbents, stolen atomic.Int64
@@ -241,8 +246,9 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 					}
 					if m.Feasible(x) {
 						chaos.Disturb(ctx, ptIncumbent)
-						if best.offer(x, m.Value(x)) {
-							incumbents.Add(1)
+						if v := m.Value(x); best.offer(x, v) {
+							frec.Record(flight.Event{Kind: flight.KindIncumbent, Name: "ilp.solve", Stage: "solve",
+								Detail: strconv.FormatFloat(v, 'g', -1, 64), Value: incumbents.Add(1)})
 						}
 						return
 					}
@@ -264,8 +270,9 @@ func Solve(ctx context.Context, m *Model, opts Options) (Solution, error) {
 					}
 					if m.Feasible(x) {
 						chaos.Disturb(ctx, ptIncumbent)
-						if best.offer(x, m.Value(x)) {
-							incumbents.Add(1)
+						if v := m.Value(x); best.offer(x, v) {
+							frec.Record(flight.Event{Kind: flight.KindIncumbent, Name: "ilp.solve", Stage: "solve",
+								Detail: strconv.FormatFloat(v, 'g', -1, 64), Value: incumbents.Add(1)})
 						}
 					}
 					return

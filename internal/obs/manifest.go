@@ -50,8 +50,23 @@ type Manifest struct {
 	// stores its checkpoint records here).
 	Circuits any `json:"circuits,omitempty"`
 
+	// Chaos summarizes deterministic fault injection when the run was
+	// chaos-armed: the seed, the configured rate, and the per-point fired
+	// counts — enough to attribute a soak failure to a specific injection
+	// point and replay it from the manifest alone.
+	Chaos *ChaosReport `json:"chaos,omitempty"`
+
 	// Metrics is the registry snapshot at the end of the run.
 	Metrics Snapshot `json:"metrics"`
+}
+
+// ChaosReport is the manifest's fault-injection summary.
+type ChaosReport struct {
+	Seed  int64   `json:"seed"`
+	Rate  float64 `json:"rate"`
+	Fired int64   `json:"fired"`
+	// Points maps each injection point that fired to its fault count.
+	Points map[string]int64 `json:"points,omitempty"`
 }
 
 // StageTiming is the aggregate of every leaf span with one name.

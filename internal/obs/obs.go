@@ -30,6 +30,8 @@ import (
 	"log/slog"
 	"sync"
 	"time"
+
+	"fastmon/internal/obs/flight"
 )
 
 // maxSpans bounds the completed-span buffer so unbounded pipelines (the
@@ -45,6 +47,7 @@ const maxSpans = 65536
 type Observer struct {
 	logger *slog.Logger
 	reg    *Registry
+	rec    *flight.Recorder
 
 	mu      sync.Mutex
 	spans   []SpanRecord
@@ -86,6 +89,26 @@ func (o *Observer) Metrics() *Registry {
 		return nil
 	}
 	return o.reg
+}
+
+// AttachFlight hands the observer a flight recorder; from then on every
+// span begin/end is journaled into it alongside whatever the stages
+// record directly. Call it once at setup, before the observer is shared
+// (the CLIs attach it right after New). A nil observer ignores the call.
+func (o *Observer) AttachFlight(r *flight.Recorder) {
+	if o != nil {
+		o.rec = r
+	}
+}
+
+// Flight returns the attached flight recorder, or nil — and a nil
+// *flight.Recorder is itself a valid no-op, so call sites record
+// unconditionally.
+func (o *Observer) Flight() *flight.Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.rec
 }
 
 // Counter returns the named counter (a no-op counter when o is nil).
@@ -203,6 +226,9 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		path = parent + "/" + name
 	}
 	s := &Span{o: o, name: name, path: path, start: time.Now()}
+	if o.rec != nil {
+		o.rec.Record(flight.Event{Kind: flight.KindSpanBegin, Name: path, Time: s.start})
+	}
 	return context.WithValue(ctx, spanPathKey{}, path), s
 }
 
@@ -216,6 +242,9 @@ func (s *Span) End(attrs ...slog.Attr) {
 	d := time.Since(s.start)
 	s.o.record(SpanRecord{Path: s.path, Name: s.name, Start: s.start, Duration: d})
 	s.o.Histogram("span." + s.name).Observe(int64(d))
+	if s.o.rec != nil {
+		s.o.rec.Record(flight.Event{Kind: flight.KindSpanEnd, Name: s.path, Value: int64(d)})
+	}
 	all := append(attrs, slog.String("span", s.path), slog.Duration("dur", d))
 	s.o.logger.LogAttrs(context.Background(), slog.LevelDebug, "span end", all...)
 }

@@ -1,0 +1,296 @@
+// Package obshttp is the live introspection server: an opt-in HTTP
+// endpoint (the CLIs' -listen flag) that makes an in-flight run
+// watchable, scrapable, and debuggable without touching its execution.
+//
+// Endpoints:
+//
+//	/            plain-text index of the endpoints below
+//	/healthz     liveness probe ("ok")
+//	/metrics     obs registry snapshot, Prometheus text exposition
+//	/progress    Server-Sent Events stream of published run events
+//	             (tablegen publishes exper.SuiteEvent per circuit)
+//	/flight      flight-recorder snapshot as JSONL (the same journal a
+//	             crash dump would write)
+//	/debug/pprof net/http/pprof profiles of the live process
+//
+// The server owns nothing: it reads the same context-carried Observer
+// and flight.Recorder the pipeline records into, so enabling it adds no
+// work to any stage. Its lifetime is tied to the run's context — when
+// the run finishes or is cancelled the listener shuts down cleanly,
+// draining in-flight scrapes and closing SSE streams.
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+
+	"fastmon/internal/obs"
+	"fastmon/internal/obs/flight"
+)
+
+// Options configures Start. Both fields may be nil; the corresponding
+// endpoints then serve empty (but well-formed) payloads.
+type Options struct {
+	// Observer backs /metrics.
+	Observer *obs.Observer
+	// Flight backs /flight.
+	Flight *flight.Recorder
+}
+
+// Server is a running introspection listener. Construct with Start.
+type Server struct {
+	opts Options
+	ln   net.Listener
+	srv  *http.Server
+	bus  *broadcaster
+	done chan struct{}
+	err  error
+}
+
+// Start binds addr (host:port; port 0 picks a free one) and serves the
+// introspection endpoints until ctx is cancelled or Close is called,
+// whichever comes first. Shutdown is graceful: in-flight scrapes drain,
+// SSE streams are closed.
+func Start(ctx context.Context, addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		opts: opts,
+		ln:   ln,
+		bus:  newBroadcaster(),
+		done: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/flight", s.handleFlight)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.srv.Serve(ln) }()
+	go func() {
+		defer close(s.done)
+		select {
+		case <-ctx.Done():
+		case err := <-serveErr:
+			if err != http.ErrServerClosed {
+				s.err = err
+			}
+			s.bus.closeAll()
+			return
+		}
+		// Graceful drain: SSE handlers watch the broadcaster's close and
+		// return, unblocking Shutdown; a bounded timeout keeps a stuck
+		// scraper from pinning the process open.
+		s.bus.closeAll()
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := s.srv.Shutdown(sctx); err != nil {
+			s.err = err
+		}
+		<-serveErr
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address ("127.0.0.1:43521"), useful with
+// port 0.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Publish broadcasts one named event to every /progress subscriber as an
+// SSE message with the JSON encoding of v as its data. Slow subscribers
+// drop events rather than blocking the run; a nil server ignores the
+// call so CLIs can publish unconditionally.
+func (s *Server) Publish(event string, v any) {
+	if s == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	s.bus.publish([]byte(fmt.Sprintf("event: %s\ndata: %s\n\n", event, data)))
+}
+
+// Close shuts the server down without waiting for ctx and blocks until
+// the listener is fully drained. Safe on nil and after ctx-driven
+// shutdown.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.bus.closeAll()
+	s.srv.Close()
+	<-s.done
+	return s.err
+}
+
+// Wait blocks until the server has shut down (ctx cancelled or Close).
+func (s *Server) Wait() error {
+	if s == nil {
+		return nil
+	}
+	<-s.done
+	return s.err
+}
+
+// --- handlers --------------------------------------------------------------
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `fastmon live introspection
+/healthz      liveness
+/metrics      Prometheus text exposition
+/progress     SSE per-circuit suite progress
+/flight       flight-recorder journal (JSONL)
+/debug/pprof  live profiles
+`)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Process-level gauges are sampled at scrape time; everything else
+	// comes from the shared registry snapshot.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap := s.opts.Observer.Metrics().Snapshot()
+	if snap.Gauges == nil {
+		snap.Gauges = map[string]float64{}
+	}
+	snap.Gauges["proc.goroutines"] = float64(runtime.NumGoroutine())
+	snap.Gauges["proc.heap_alloc_bytes"] = float64(ms.HeapAlloc)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, snap)
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.opts.Flight.WriteJSONL(w)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	ch, cancel := s.bus.subscribe()
+	if ch == nil {
+		// Already shut down: emit a well-formed empty stream.
+		fmt.Fprint(w, ": shutting down\n\n")
+		return
+	}
+	defer cancel()
+	fmt.Fprint(w, "retry: 2000\n\n")
+	fl.Flush()
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case msg, open := <-ch:
+			if !open {
+				return // server shutting down
+			}
+			if _, err := w.Write(msg); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// --- SSE broadcaster -------------------------------------------------------
+
+// broadcaster fans published messages out to subscriber channels.
+// Publishing never blocks: a subscriber whose buffer is full misses the
+// message (SSE clients are monitors, not consumers of record).
+type broadcaster struct {
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: map[chan []byte]struct{}{}}
+}
+
+func (b *broadcaster) subscribe() (ch chan []byte, cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, func() {}
+	}
+	ch = make(chan []byte, 64)
+	b.subs[ch] = struct{}{}
+	return ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+func (b *broadcaster) publish(msg []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.subs {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
+}
+
+func (b *broadcaster) closeAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+		delete(b.subs, ch)
+	}
+}

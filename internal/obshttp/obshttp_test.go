@@ -1,0 +1,346 @@
+package obshttp
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"fastmon/internal/obs"
+	"fastmon/internal/obs/flight"
+)
+
+// seededObserver builds an observer with a representative registry: a
+// counter, a gauge, and a histogram spanning the sub-bucket, unit,
+// power-of-two and negative ranges.
+func seededObserver() *obs.Observer {
+	o := obs.New(nil)
+	o.Counter("detect.sims").Add(1234)
+	o.Counter("ilp.nodes").Add(42)
+	o.Gauge("detect.worker_utilization").Set(0.875)
+	h := o.Histogram("span.detect")
+	for _, v := range []int64{0, 1, 1, 3, 100, 5000, -7} {
+		h.Observe(v)
+	}
+	return o
+}
+
+func startTest(t *testing.T, ctx context.Context, opts Options) *Server {
+	t.Helper()
+	s, err := Start(ctx, "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+func TestHealthz(t *testing.T) {
+	s := startTest(t, context.Background(), Options{})
+	body, resp := get(t, "http://"+s.Addr()+"/healthz")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestMetricsExposition is the golden-format test: the /metrics payload
+// must parse as valid Prometheus text exposition (version 0.0.4) — every
+// sample line well-formed, every sample preceded by a matching # TYPE,
+// histograms with cumulative le buckets ending in +Inf, and the seeded
+// metrics present with the right values.
+func TestMetricsExposition(t *testing.T) {
+	o := seededObserver()
+	s := startTest(t, context.Background(), Options{Observer: o})
+	body, resp := get(t, "http://"+s.Addr()+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics content-type = %q", ct)
+	}
+	samples := parseExposition(t, body)
+	if got := samples["fastmon_detect_sims_total"]; got != 1234 {
+		t.Errorf("fastmon_detect_sims_total = %v, want 1234", got)
+	}
+	if got := samples["fastmon_detect_worker_utilization"]; got != 0.875 {
+		t.Errorf("fastmon_detect_worker_utilization = %v, want 0.875", got)
+	}
+	if got := samples[`fastmon_span_detect_bucket{le="+Inf"}`]; got != 7 {
+		t.Errorf("+Inf bucket = %v, want 7 (all observations)", got)
+	}
+	if got := samples["fastmon_span_detect_count"]; got != 7 {
+		t.Errorf("histogram count = %v, want 7", got)
+	}
+	// Scrape-time process gauges ride along.
+	if got := samples["fastmon_proc_goroutines"]; got <= 0 {
+		t.Errorf("fastmon_proc_goroutines = %v, want > 0", got)
+	}
+}
+
+// parseExposition validates Prometheus text format and returns the
+// sample values keyed by "name" or "name{labels}". It enforces the
+// format rules a real scraper relies on: metric and label syntax, TYPE
+// declarations preceding their samples, parseable values, cumulative
+// histogram buckets closed by +Inf, and count/+Inf agreement.
+func parseExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	var (
+		metricLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$`)
+		labelPart  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+		typeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	)
+	types := map[string]string{}
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				m := typeLine.FindStringSubmatch(line)
+				if m == nil {
+					t.Fatalf("malformed TYPE line: %q", line)
+				}
+				if _, dup := types[m[1]]; dup {
+					t.Fatalf("duplicate TYPE for %s", m[1])
+				}
+				types[m[1]] = m[2]
+			}
+			continue
+		}
+		m := metricLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if labels != "" {
+			for _, p := range strings.Split(strings.Trim(labels, "{}"), ",") {
+				if !labelPart.MatchString(p) {
+					t.Fatalf("malformed label %q in line %q", p, line)
+				}
+			}
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			t.Fatalf("unparseable value in line %q: %v", line, err)
+		}
+		// Every sample must belong to a declared family: the histogram
+		// child series (_bucket/_sum/_count) map back to their base name.
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && types[b] == "histogram" {
+				base = b
+				break
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("sample %q has no TYPE declaration", name)
+		}
+		v, _ := strconv.ParseFloat(value, 64)
+		samples[name+labels] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Histogram invariants: buckets cumulative in le order, +Inf present
+	// and equal to _count.
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		type b struct {
+			le  float64
+			cum float64
+		}
+		var bkts []b
+		inf := -1.0
+		for key, v := range samples {
+			if !strings.HasPrefix(key, fam+"_bucket{le=\"") {
+				continue
+			}
+			le := strings.TrimSuffix(strings.TrimPrefix(key, fam+"_bucket{le=\""), "\"}")
+			if le == "+Inf" {
+				inf = v
+				continue
+			}
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("histogram %s has unparseable le %q", fam, le)
+			}
+			bkts = append(bkts, b{le: f, cum: v})
+		}
+		if inf < 0 {
+			t.Fatalf("histogram %s has no +Inf bucket", fam)
+		}
+		if count := samples[fam+"_count"]; count != inf {
+			t.Fatalf("histogram %s: count %v != +Inf bucket %v", fam, count, inf)
+		}
+		for i := range bkts {
+			for j := range bkts {
+				if bkts[i].le < bkts[j].le && bkts[i].cum > bkts[j].cum {
+					t.Fatalf("histogram %s buckets not cumulative: le=%v→%v, le=%v→%v",
+						fam, bkts[i].le, bkts[i].cum, bkts[j].le, bkts[j].cum)
+				}
+			}
+		}
+		for _, bb := range bkts {
+			if bb.cum > inf {
+				t.Fatalf("histogram %s bucket %v exceeds +Inf %v", fam, bb.cum, inf)
+			}
+		}
+	}
+	return samples
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	rec := flight.New(64)
+	rec.Record(flight.Event{Kind: flight.KindChaos, Name: "ilp.node", Stage: "solve", Detail: "panic", Value: 3})
+	s := startTest(t, context.Background(), Options{Flight: rec})
+	body, resp := get(t, "http://"+s.Addr()+"/flight")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flight status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, `"kind":"chaos"`) || !strings.Contains(body, `"name":"ilp.node"`) {
+		t.Fatalf("flight body missing event: %q", body)
+	}
+	// With no recorder the endpoint serves an empty journal, not an error.
+	s2 := startTest(t, context.Background(), Options{})
+	body2, resp2 := get(t, "http://"+s2.Addr()+"/flight")
+	if resp2.StatusCode != http.StatusOK || body2 != "" {
+		t.Fatalf("empty flight = %d %q", resp2.StatusCode, body2)
+	}
+}
+
+func TestProgressSSE(t *testing.T) {
+	s := startTest(t, context.Background(), Options{})
+	resp, err := http.Get("http://" + s.Addr() + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("progress content-type = %q", ct)
+	}
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	// Publishers may race the subscriber registration; retry until the
+	// event arrives.
+	deadline := time.After(5 * time.Second)
+	var event, data string
+	for event == "" || data == "" {
+		s.Publish("progress", map[string]any{"index": 1, "total": 12, "name": "s9234"})
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed before event arrived")
+			}
+			if strings.HasPrefix(line, "event: ") {
+				event = line
+			}
+			if strings.HasPrefix(line, "data: ") {
+				data = line
+			}
+		case <-deadline:
+			t.Fatal("no SSE event within 5s")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if event != "event: progress" {
+		t.Fatalf("event line = %q", event)
+	}
+	if !strings.Contains(data, `"name":"s9234"`) {
+		t.Fatalf("data line = %q", data)
+	}
+}
+
+func TestShutdownOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := Start(ctx, "127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if _, resp := get(t, "http://"+addr+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatal("server not serving before cancel")
+	}
+	// An open SSE stream must not wedge the shutdown.
+	sse, err := http.Get("http://" + addr + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sse.Body.Close()
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down after context cancel")
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+func TestPublishOnNilServerIsNoop(t *testing.T) {
+	var s *Server
+	s.Publish("progress", 1) // must not panic
+	if s.Addr() != "" {
+		t.Fatal("nil Addr")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	s := startTest(t, context.Background(), Options{})
+	body, resp := get(t, "http://"+s.Addr()+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %d %.80q", resp.StatusCode, body)
+	}
+}
+
+func TestIndex(t *testing.T) {
+	s := startTest(t, context.Background(), Options{})
+	body, resp := get(t, "http://"+s.Addr()+"/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d %q", resp.StatusCode, body)
+	}
+	if _, resp := get(t, fmt.Sprintf("http://%s/nope", s.Addr())); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,126 @@
+package obshttp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fastmon/internal/obs"
+)
+
+// Prometheus text exposition (version 0.0.4) rendering of an obs
+// registry snapshot. The obs metric namespace uses dots
+// ("detect.sims_per_sec"); Prometheus names admit [a-zA-Z0-9_:] only, so
+// every name is sanitized and prefixed with "fastmon_". Counters render
+// with the conventional _total suffix; the power-of-two obs histograms
+// render as native Prometheus histograms with cumulative le buckets.
+
+// promName sanitizes an obs metric name into the fastmon_ namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("fastmon_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promValue renders a float the way Prometheus expects (no exponent
+// surprises for integral values).
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMetrics renders the snapshot in Prometheus text exposition
+// format. Output is deterministic: metric families are sorted by name.
+func WriteMetrics(w io.Writer, s obs.Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promValue(s.Gauges[n])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writeHistogram(w, promName(n), s.Histograms[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram converts the obs power-of-two histogram (buckets keyed
+// by inclusive lower bound: "0" counts v <= 0, "1" counts v == 1, "2"
+// counts 2 <= v < 4, ...) into cumulative Prometheus buckets. The
+// inclusive upper bound of the bucket with lower bound L >= 1 is 2L-1
+// (observations are integers); the "0" bucket maps to le="0".
+func writeHistogram(w io.Writer, pn string, h obs.HistogramSnapshot) error {
+	type bkt struct {
+		le    string
+		lower uint64
+		count int64
+	}
+	var bkts []bkt
+	for label, count := range h.Buckets {
+		switch label {
+		case "+Inf":
+			// Open-ended top bucket: folds into the +Inf line below.
+			bkts = append(bkts, bkt{le: "", lower: ^uint64(0), count: count})
+		case "0":
+			bkts = append(bkts, bkt{le: "0", lower: 0, count: count})
+		default:
+			lower, err := strconv.ParseUint(label, 10, 64)
+			if err != nil {
+				return fmt.Errorf("obshttp: bad histogram bucket %q in %s", label, pn)
+			}
+			bkts = append(bkts, bkt{le: strconv.FormatUint(2*lower-1, 10), lower: lower, count: count})
+		}
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].lower < bkts[j].lower })
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for _, b := range bkts {
+		if b.le == "" {
+			continue // counted by the +Inf line
+		}
+		cum += b.count
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, b.le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		pn, h.Count, pn, h.Sum, pn, h.Count)
+	return err
+}
