@@ -156,6 +156,7 @@ func (rep *Report) finalize() {
 var pairings = []struct{ fast, base string }{
 	{"/event", "/naive"},     // fault simulation: event-driven vs full resim
 	{"/parallel", "/serial"}, // worker-pool solvers vs single-threaded
+	{"/warm", "/cold"},       // result cache: warm re-run vs cold compute
 }
 
 // speedups derives baseline/variant ratios for every benchmark family

@@ -102,6 +102,16 @@ func TestSerialParallelPairing(t *testing.T) {
 	}
 }
 
+func TestWarmColdPairing(t *testing.T) {
+	got := speedups([]Result{
+		{Name: "BenchmarkSuiteWarm/cold", NsPerOp: 900},
+		{Name: "BenchmarkSuiteWarm/warm", NsPerOp: 100},
+	})
+	if len(got) != 1 || got["BenchmarkSuiteWarm"] != 9 {
+		t.Fatalf("speedups = %v, want BenchmarkSuiteWarm:9 only", got)
+	}
+}
+
 func writeBaseline(t *testing.T, rep *Report, naked bool) string {
 	t.Helper()
 	var data []byte

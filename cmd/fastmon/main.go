@@ -43,6 +43,8 @@ func main() {
 
 		jsonLogs   = flag.Bool("json-logs", false, "emit stage telemetry as JSON lines on stderr")
 		listen     = flag.String("listen", "", "serve live introspection (/metrics, /progress, /flight, pprof) on this address (empty disables)")
+		cacheDir   = flag.String("cache.dir", "", "content-addressed result-cache directory; re-runs reuse matching stage results (empty disables)")
+		cacheMax   = flag.Int64("cache.max", 512<<20, "result-cache size budget in bytes; least-recently-used entries are evicted (<= 0 = unlimited)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -75,6 +77,18 @@ func main() {
 	o := fastmon.NewObserver(logger)
 	ctx = fastmon.WithObserver(ctx, o)
 
+	// Result cache: -cache.dir memoizes ATPG, detection and scheduling so
+	// repeated flows on the same netlist reuse matching stage results.
+	var store *fastmon.CacheStore
+	if *cacheDir != "" {
+		store, err = fastmon.OpenCache(*cacheDir, *cacheMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fastmon:", err)
+			os.Exit(1)
+		}
+		ctx = fastmon.WithCache(ctx, store)
+	}
+
 	// Live introspection: -listen attaches a flight recorder to the
 	// observer and serves /metrics, /flight and pprof while the flow runs.
 	if *listen != "" {
@@ -93,6 +107,12 @@ func main() {
 	if err := run(ctx, *benchPath, *vlogPath, *topName, *sdfPath, *genName, *scale, *method, *coverage, *sample, *budget, *seed, *workers, *patsOut, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "fastmon:", err)
 		code = 1
+	}
+	if store != nil {
+		// Printed here, not deferred: os.Exit below skips defers.
+		r := store.Report()
+		fmt.Fprintf(os.Stderr, "# cache: %d hits, %d misses (%d entries, %d bytes)\n",
+			r.Hits, r.Misses, r.Entries, r.Bytes)
 	}
 	// Flush profiles explicitly: os.Exit would skip a deferred stop.
 	if err := stopProf(); err != nil {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"fastmon/internal/aging"
+	"fastmon/internal/cache"
 	"fastmon/internal/chaos"
 	"fastmon/internal/exper"
 	"fastmon/internal/obs"
@@ -53,6 +54,9 @@ type options struct {
 	jsonLogs bool   // -json-logs: structured JSON log lines
 	manifest string // -manifest: run.json output path ("" disables)
 	listen   string // -listen: live introspection server address ("" disables)
+
+	cacheDir string // -cache.dir: result-cache directory ("" disables)
+	cacheMax int64  // -cache.max: result-cache byte budget (<= 0 unlimited)
 
 	// chaosRate > 0 enables deterministic fault injection at every
 	// registered chaos point, driven by chaosSeed (see internal/chaos).
@@ -88,6 +92,9 @@ func main() {
 		chaosSeed = flag.Int64("chaos.seed", 0, "seed for deterministic fault injection (same seed, same faults)")
 		chaosRate = flag.Float64("chaos.rate", 0, "per-point fault injection probability in [0,1] (0 disables chaos)")
 
+		cacheDir = flag.String("cache.dir", "", "content-addressed result-cache directory; re-runs reuse matching stage results (empty disables)")
+		cacheMax = flag.Int64("cache.max", 512<<20, "result-cache size budget in bytes; least-recently-used entries are evicted (<= 0 = unlimited)")
+
 		listen    = flag.String("listen", "", "serve live introspection (/metrics, /progress, /flight, pprof) on this address (empty disables)")
 		flightOut = flag.String("flight", "flight.jsonl", "flight-recorder dump path, written on panics/failures/SIGQUIT (empty disables the recorder)")
 
@@ -119,6 +126,7 @@ func main() {
 		steps: *steps, ckptDir: *ckpt, resume: *resume,
 		verbose: *verbose, jsonLogs: *jsonLogs, manifest: *manifest,
 		listen: *listen, chaosSeed: *chaosSeed, chaosRate: *chaosRate,
+		cacheDir: *cacheDir, cacheMax: *cacheMax,
 	}
 	// The flight recorder journals structured pipeline events into a
 	// fixed-size ring; it is dumped as JSONL on recovered panics, failed
@@ -218,6 +226,27 @@ func run(ctx context.Context, out, log io.Writer, cfg exper.SuiteConfig, opts op
 		}()
 	}
 
+	// Result cache: -cache.dir attaches a content-addressed store to the
+	// context; every pipeline stage (ATPG, detection, schedule) memoizes
+	// through it, so a re-run with one changed knob recomputes only the
+	// stages downstream of the change.
+	var store *cache.Store
+	if opts.cacheDir != "" {
+		var err error
+		store, err = cache.Open(opts.cacheDir, opts.cacheMax)
+		if err != nil {
+			return err
+		}
+		ctx = cache.With(ctx, store)
+		fmt.Fprintf(log, "# cache: %s (%d entries, %d bytes)\n",
+			opts.cacheDir, store.Len(), store.Bytes())
+		defer func() {
+			r := store.Report()
+			fmt.Fprintf(log, "# cache: %d hits, %d misses, %d evictions, %d corrupt (%d entries, %d bytes)\n",
+				r.Hits, r.Misses, r.Evictions, r.Corrupt, r.Entries, r.Bytes)
+		}()
+	}
+
 	// Live introspection: -listen serves /metrics, /progress (SSE),
 	// /flight and pprof for the duration of the run.
 	var srv *obshttp.Server
@@ -240,6 +269,7 @@ func run(ctx context.Context, out, log io.Writer, cfg exper.SuiteConfig, opts op
 				man.Chaos = &obs.ChaosReport{Seed: inj.Seed(), Rate: opts.chaosRate,
 					Fired: inj.Fired(), Points: inj.Snapshot()}
 			}
+			man.Cache = cache.From(ctx).Report() // nil without -cache.dir
 			man.Finish(o)
 			// The manifest must land even when the run itself was
 			// cancelled, so the write uses a fresh context — keeping the

@@ -32,6 +32,7 @@ import (
 	"fastmon/internal/aging"
 	"fastmon/internal/atpg"
 	"fastmon/internal/bist"
+	"fastmon/internal/cache"
 	"fastmon/internal/cell"
 	"fastmon/internal/circuit"
 	"fastmon/internal/core"
@@ -191,6 +192,28 @@ func ObserverFrom(ctx context.Context) *Observer { return obs.From(ctx) }
 // NewRunManifest seeds a run manifest with build provenance and the
 // fingerprint of the given configuration.
 func NewRunManifest(tool string, config any) *RunManifest { return obs.NewManifest(tool, config) }
+
+// CacheStore is the content-addressed result cache (internal/cache): a
+// disk-backed memo for stage results keyed by canonical input fingerprints.
+// A nil *CacheStore disables caching everywhere it is consulted.
+type CacheStore = cache.Store
+
+// CacheReport summarizes cache traffic for the run manifest.
+type CacheReport = obs.CacheReport
+
+// OpenCache opens (creating if needed) a result-cache directory with the
+// given byte budget (<= 0 disables the budget). Existing entries are
+// adopted, so a warm directory accelerates the next run.
+func OpenCache(dir string, maxBytes int64) (*CacheStore, error) { return cache.Open(dir, maxBytes) }
+
+// WithCache attaches a result cache to the context; ATPG, detection-range
+// extraction and schedule construction run under the returned context
+// memoize through it, recomputing only stages whose inputs changed.
+func WithCache(ctx context.Context, s *CacheStore) context.Context { return cache.With(ctx, s) }
+
+// CacheFrom returns the cache attached to the context, or nil (caching
+// disabled).
+func CacheFrom(ctx context.Context) *CacheStore { return cache.From(ctx) }
 
 // StartProfiles enables CPU/heap/trace profiling for any of the given
 // non-empty paths; the returned stop function flushes and closes them.

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"fastmon/internal/cache"
 	"fastmon/internal/chaos"
 	"fastmon/internal/circuit"
 	"fastmon/internal/fault"
@@ -73,6 +74,48 @@ func Generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg
 	if cfg.RandomBatches == 0 && cfg.MaxBacktracks == 0 {
 		cfg = DefaultConfig(cfg.Seed)
 	}
+	if store := cache.From(ctx); store != nil {
+		v, err := cache.Memo(ctx, store, cacheKey(c, faults, cfg),
+			func(ctx context.Context) (cached, error) {
+				pats, st, err := generate(ctx, c, faults, cfg)
+				return cached{Patterns: pats, Stats: st}, err
+			})
+		return v.Patterns, v.Stats, err
+	}
+	return generate(ctx, c, faults, cfg)
+}
+
+// cached is the atpg entry layout of the result cache.
+type cached struct {
+	Patterns []sim.Pattern
+	Stats    Stats
+}
+
+// cacheKey fingerprints everything Generate's output depends on: the
+// canonical netlist, the source ordering the pattern vectors are indexed
+// by, the exact target fault list (by gate name, so the component composes
+// with the order-invariant netlist fingerprint), and the generator config.
+func cacheKey(c *circuit.Circuit, faults []fault.Fault, cfg Config) cache.Key {
+	h := cache.NewHasher("atpg")
+	h.Str("circuit", cache.CircuitFingerprint(c))
+	for _, id := range c.Sources() {
+		h.Str("src", c.Gates[id].Name)
+	}
+	h.Int("faults", int64(len(faults)))
+	for _, f := range faults {
+		h.Str("f.gate", c.Gates[f.Gate].Name)
+		h.Int("f.pin", int64(f.Pin))
+		h.Bool("f.rising", f.Rising)
+	}
+	h.Int("random_batches", int64(cfg.RandomBatches))
+	h.Int("max_backtracks", int64(cfg.MaxBacktracks))
+	h.Int("seed", cfg.Seed)
+	h.Bool("compact", cfg.Compact)
+	return h.Key()
+}
+
+// generate is the uncached body of Generate.
+func generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg Config) ([]sim.Pattern, Stats, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	nsrc := len(c.Sources())
 	st := Stats{Faults: len(faults)}

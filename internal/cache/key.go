@@ -1,0 +1,210 @@
+// Package cache is a content-addressed, disk-backed memo layer for the
+// deterministic pipeline stages (ATPG pattern generation, detection-interval
+// extraction, two-step schedule construction).
+//
+// A cached entry is addressed by a Key: a SHA-256 fingerprint over a
+// label-framed serialization of everything the stage result depends on —
+// the circuit netlist in canonical form, the cell library, the delay
+// annotation, the stage configuration, and a schema epoch that is bumped
+// whenever a stage algorithm or a cached value layout changes. Two runs that
+// hash the same inputs may share results; anything else must not, so every
+// key component is length-prefixed and labelled to rule out ambiguity
+// between adjacent fields.
+//
+// Values are CRC-enveloped JSON records written through internal/safeio.
+// Corrupt, truncated or version-skewed entries are indistinguishable from
+// absent ones: the cache degrades to a miss, never to an error and never to
+// a wrong result.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+	"strings"
+
+	"fastmon/internal/circuit"
+	"fastmon/internal/tunit"
+)
+
+// SchemaVersion is the code epoch mixed into every key. Bump it whenever a
+// stage algorithm, a key component, or a cached value layout changes so that
+// stale entries from older binaries become unreachable (version skew reads
+// as a miss, not a decode of wrong data).
+const SchemaVersion = 1
+
+// Key addresses one cached stage result. The zero Key is invalid.
+type Key struct {
+	stage string
+	sum   [sha256.Size]byte
+}
+
+// Stage returns the pipeline stage the key belongs to ("atpg", "detect",
+// "schedule").
+func (k Key) Stage() string { return k.stage }
+
+// String renders the key as "<stage>-<hex>"; it doubles as the entry's
+// filename, so it must stay filesystem-safe.
+func (k Key) String() string {
+	return k.stage + "-" + hex.EncodeToString(k.sum[:])
+}
+
+// Hasher accumulates labelled key components into a SHA-256 fingerprint.
+// Every Write* method frames its input with the label and a length prefix so
+// that distinct component sequences can never collide by concatenation.
+type Hasher struct {
+	h         hash.Hash
+	stageName string
+}
+
+// NewHasher starts a key for one pipeline stage. The schema epoch and the
+// stage name are the first components of every key.
+func NewHasher(stage string) *Hasher {
+	h := &Hasher{h: sha256.New(), stageName: stage}
+	h.Int("schema", SchemaVersion)
+	h.Str("stage", stage)
+	return h
+}
+
+// frame writes label and payload length before the payload itself.
+func (h *Hasher) frame(label string, n int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(label)))
+	h.h.Write(buf[:4])
+	h.h.Write([]byte(label))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(n))
+	h.h.Write(buf[:4])
+}
+
+// Str hashes a labelled string component.
+func (h *Hasher) Str(label, s string) *Hasher {
+	h.frame(label, len(s))
+	h.h.Write([]byte(s))
+	return h
+}
+
+// Bytes hashes a labelled raw byte component.
+func (h *Hasher) Bytes(label string, b []byte) *Hasher {
+	h.frame(label, len(b))
+	h.h.Write(b)
+	return h
+}
+
+// Int hashes a labelled integer component.
+func (h *Hasher) Int(label string, v int64) *Hasher {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	return h.Bytes(label, buf[:])
+}
+
+// F64 hashes a labelled float component by its exact bit pattern.
+func (h *Hasher) F64(label string, v float64) *Hasher {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	return h.Bytes(label, buf[:])
+}
+
+// Bool hashes a labelled boolean component.
+func (h *Hasher) Bool(label string, v bool) *Hasher {
+	if v {
+		return h.Int(label, 1)
+	}
+	return h.Int(label, 0)
+}
+
+// Time hashes a labelled tunit.Time component.
+func (h *Hasher) Time(label string, t tunit.Time) *Hasher {
+	return h.Int(label, int64(t))
+}
+
+// Times hashes a labelled tunit.Time slice, order-sensitive.
+func (h *Hasher) Times(label string, ts []tunit.Time) *Hasher {
+	h.Int(label+".len", int64(len(ts)))
+	for i, t := range ts {
+		h.Int(fmt.Sprintf("%s[%d]", label, i), int64(t))
+	}
+	return h
+}
+
+// Bools hashes a labelled bit vector, order-sensitive.
+func (h *Hasher) Bools(label string, vs []bool) *Hasher {
+	b := make([]byte, len(vs))
+	for i, v := range vs {
+		if v {
+			b[i] = 1
+		}
+	}
+	return h.Bytes(label, b)
+}
+
+// Ints hashes a labelled int slice, order-sensitive.
+func (h *Hasher) Ints(label string, vs []int) *Hasher {
+	h.Int(label+".len", int64(len(vs)))
+	for i, v := range vs {
+		h.Int(fmt.Sprintf("%s[%d]", label, i), int64(v))
+	}
+	return h
+}
+
+// Key finalizes the digest.
+func (h *Hasher) Key() Key {
+	k := Key{stage: h.stageName}
+	h.h.Sum(k.sum[:0])
+	return k
+}
+
+// CanonicalBench renders the circuit in a canonical .bench-like form that is
+// invariant under whitespace, comments, and gate declaration order: gates
+// are emitted sorted by name, fanins keep their declared pin order (pin
+// order carries delay semantics), and outputs are emitted sorted. The
+// circuit name is formatting, not semantics, and is excluded.
+func CanonicalBench(c *circuit.Circuit) []byte {
+	var b strings.Builder
+	type line struct{ name, text string }
+	lines := make([]line, 0, len(c.Gates))
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		var t strings.Builder
+		if g.Kind == circuit.Input {
+			t.WriteString("INPUT(" + g.Name + ")")
+		} else {
+			t.WriteString(g.Name + " = " + g.Kind.String() + "(")
+			for p, f := range g.Fanin {
+				if p > 0 {
+					t.WriteByte(',')
+				}
+				t.WriteString(c.Gates[f].Name)
+			}
+			t.WriteByte(')')
+		}
+		lines = append(lines, line{g.Name, t.String()})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		b.WriteString(l.text)
+		b.WriteByte('\n')
+	}
+	outs := make([]string, len(c.Outputs))
+	for i, id := range c.Outputs {
+		outs[i] = c.Gates[id].Name
+	}
+	sort.Strings(outs)
+	for _, o := range outs {
+		b.WriteString("OUTPUT(" + o + ")\n")
+	}
+	return []byte(b.String())
+}
+
+// CircuitFingerprint returns the hex SHA-256 of the canonical netlist form.
+// It is the circuit component of every stage key: permuting gate
+// declarations or reformatting the source .bench file does not change it,
+// while any semantic edit (gate kind, connectivity, pin order, output set)
+// does.
+func CircuitFingerprint(c *circuit.Circuit) string {
+	sum := sha256.Sum256(CanonicalBench(c))
+	return hex.EncodeToString(sum[:])
+}

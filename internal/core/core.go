@@ -143,6 +143,13 @@ type Flow struct {
 // Cancelling ctx aborts whichever stage is running — ATPG, fault
 // simulation, or classification — and returns a stage-attributed error
 // wrapping the context error.
+//
+// A result cache attached to ctx (cache.With) memoizes the expensive
+// stages: atpg.Generate and detect.Run consult it here, schedule.Build in
+// BuildSchedule. Each stage keys on its own actual inputs, so the memo
+// composes — changing one knob invalidates exactly the stages downstream
+// of it (a new coverage target rebuilds only the schedule; a new monitor
+// fraction re-runs detection and scheduling but reuses the pattern set).
 func Run(ctx context.Context, c *circuit.Circuit, lib *cell.Library, annot *cell.Annotation, cfg Config) (*Flow, error) {
 	cfg = cfg.Defaults()
 	if annot == nil {
@@ -277,7 +284,9 @@ func (f *Flow) ScheduleOptions(m schedule.Method, coverage float64) schedule.Opt
 	}
 }
 
-// BuildSchedule runs the scheduling step on the target faults.
+// BuildSchedule runs the scheduling step on the target faults. With a
+// result cache on ctx the construction is memoized per (target data,
+// method, coverage, budget); see Run.
 func (f *Flow) BuildSchedule(ctx context.Context, m schedule.Method, coverage float64) (*schedule.Schedule, error) {
 	return schedule.Build(ctx, f.TargetData, f.ScheduleOptions(m, coverage))
 }

@@ -15,11 +15,14 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"fastmon/internal/cache"
 	"fastmon/internal/chaos"
+	"fastmon/internal/circuit"
 	"fastmon/internal/fault"
 	"fastmon/internal/fmerr"
 	"fastmon/internal/interval"
@@ -204,6 +207,123 @@ func shardFaults(faults []fault.Fault, workers int) []shardRange {
 // process. Cancelling ctx stops dispatch and returns the context error
 // wrapped with detect-stage attribution.
 func Run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
+	patterns []sim.Pattern, cfg Config) ([]FaultData, error) {
+
+	store := cache.From(ctx)
+	if store == nil {
+		return run(ctx, e, placement, faults, patterns, cfg)
+	}
+	v, err := cache.Memo(ctx, store, cacheKey(e, placement, faults, patterns, cfg),
+		func(ctx context.Context) (cached, error) {
+			data, err := run(ctx, e, placement, faults, patterns, cfg)
+			if err != nil {
+				return cached{}, err
+			}
+			per := make([][]PatternRange, len(data))
+			for i := range data {
+				per[i] = data[i].Per
+			}
+			return cached{Per: per}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if len(v.Per) != len(faults) {
+		// Defensive: a decoded entry that does not line up with the
+		// request is wrong by construction; recompute.
+		return run(ctx, e, placement, faults, patterns, cfg)
+	}
+	out := make([]FaultData, len(faults))
+	for i, f := range faults {
+		out[i] = FaultData{Fault: f, Per: v.Per[i]}
+	}
+	return out, nil
+}
+
+// cached is the detect entry layout of the result cache: the sparse
+// per-pattern ranges aligned with the request's fault list. The Fault
+// identities themselves are reattached from the request at decode time, so
+// entries never carry gate IDs and stay valid across any netlist ordering
+// that hashes to the same key.
+type cached struct {
+	Per [][]PatternRange
+}
+
+// cacheKey fingerprints everything Run's output depends on: the canonical
+// netlist, the full delay annotation and library timing, the monitored tap
+// set, the exact fault list and pattern set, and the detection config.
+// Worker count is excluded — results are bit-identical by contract for any
+// parallelism — and so are the placement's delay elements, which only
+// matter downstream of Run.
+func cacheKey(e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
+	patterns []sim.Pattern, cfg Config) cache.Key {
+
+	c := e.C
+	h := cache.NewHasher("detect")
+	h.Str("circuit", cache.CircuitFingerprint(c))
+
+	lib := e.A.Lib
+	h.Str("lib", lib.Name)
+	kinds := make([]int, 0, len(lib.Base))
+	for k := range lib.Base {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	for _, k := range kinds {
+		h.Time("lib.base."+circuit.Kind(k).String(), lib.Base[circuit.Kind(k)])
+	}
+	h.F64("lib.fallskew", lib.FallSkew)
+	h.Time("lib.pinstep", lib.PinStep)
+	h.Time("lib.loadstep", lib.LoadStep)
+	h.Time("lib.clktoq", lib.ClkToQ)
+	h.Time("lib.setup", lib.Setup)
+
+	// Annotation in gate-name order so the component composes with the
+	// order-invariant netlist fingerprint.
+	order := make([]int, len(c.Gates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return c.Gates[order[i]].Name < c.Gates[order[j]].Name
+	})
+	for _, id := range order {
+		h.Str("annot.gate", c.Gates[id].Name)
+		for _, edge := range e.A.Delay[id] {
+			h.Time("annot.rise", edge.Rise)
+			h.Time("annot.fall", edge.Fall)
+		}
+	}
+
+	for _, tap := range c.Taps() {
+		h.Str("tap", tap.Name)
+	}
+	if placement != nil {
+		h.Ints("placement.taps", placement.Taps)
+	}
+
+	h.Int("faults", int64(len(faults)))
+	for _, f := range faults {
+		h.Str("f.gate", c.Gates[f.Gate].Name)
+		h.Int("f.pin", int64(f.Pin))
+		h.Bool("f.rising", f.Rising)
+	}
+	h.Int("patterns", int64(len(patterns)))
+	for _, p := range patterns {
+		h.Bools("p.v1", p.V1)
+		h.Bools("p.v2", p.V2)
+	}
+
+	h.Time("cfg.clk", cfg.Clk)
+	h.Time("cfg.tmin", cfg.TMin)
+	h.Time("cfg.delta", cfg.Delta)
+	h.Time("cfg.glitch", cfg.Glitch)
+	h.Bool("cfg.slowsim", cfg.SlowSim)
+	return h.Key()
+}
+
+// run is the uncached body of Run.
+func run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
 	patterns []sim.Pattern, cfg Config) ([]FaultData, error) {
 
 	workers := par.ClampWorkers(cfg.Workers)

@@ -9,12 +9,12 @@ package diagnose
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
 	"fastmon/internal/fault"
 	"fastmon/internal/monitor"
+	"fastmon/internal/par"
 	"fastmon/internal/sim"
 	"fastmon/internal/tunit"
 )
@@ -147,16 +147,7 @@ func Run(e *sim.Engine, placement *monitor.Placement, patterns []sim.Pattern,
 		obsTaps[i] = t
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(candidates) {
-		workers = len(candidates)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := par.ClampWorkersFor(cfg.Workers, len(candidates))
 	results := make([]Candidate, len(candidates))
 	var wg sync.WaitGroup
 	work := make(chan int)

@@ -360,13 +360,7 @@ func RunSuiteCheckpointed(ctx context.Context, cfg SuiteConfig, req TableRequest
 			return false
 		}
 	}
-	workers := par.ClampWorkers(cfg.Workers)
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := par.ClampWorkersFor(cfg.Workers, len(specs))
 	o := obs.From(ctx)
 	var (
 		mu       sync.Mutex // guards slots, firstErr/errIdx, progress calls

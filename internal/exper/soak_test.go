@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"fastmon/internal/cache"
 	"fastmon/internal/chaos"
 	"fastmon/internal/fmerr"
 	"fastmon/internal/obs"
@@ -117,9 +118,11 @@ func TestChaosSoak(t *testing.T) {
 	watchdog := 20*refElapsed + time.Minute
 
 	var (
-		mu       sync.Mutex
-		failing  []int64
-		injected int64
+		mu           sync.Mutex
+		failing      []int64
+		injected     int64
+		cacheTraffic int64 // hits+misses across all seeds
+		cacheCorrupt int64
 	)
 	t.Cleanup(func() {
 		if *soakReport == "" || len(failing) == 0 {
@@ -169,6 +172,15 @@ func TestChaosSoak(t *testing.T) {
 			o := obs.New(nil)
 			o.AttachFlight(rec)
 			cctx := chaos.With(obs.With(context.Background(), o), in)
+			// A result cache rides along so the cache.read/cache.write
+			// injection points see the same fault menu as everything else.
+			// Corrupt entries must degrade to misses, never skew tables.
+			cdir := t.TempDir()
+			cstore, cerr := cache.Open(cdir, 0)
+			if cerr != nil {
+				t.Fatalf("cache dir: %v", cerr)
+			}
+			cctx = cache.With(cctx, cstore)
 
 			done := make(chan soakOutcome, 1)
 			go func() {
@@ -182,8 +194,11 @@ func TestChaosSoak(t *testing.T) {
 				fail("HANG: run did not finish within %v (reference took %v)", watchdog, refElapsed)
 				return
 			}
+			cr := cstore.Report()
 			mu.Lock()
 			injected += in.Fired()
+			cacheTraffic += cr.Hits + cr.Misses
+			cacheCorrupt += cr.Corrupt
 			mu.Unlock()
 
 			// Invariant 1: clean success or a typed, stage-attributed
@@ -204,11 +219,16 @@ func TestChaosSoak(t *testing.T) {
 			}
 
 			// Invariant 3: whatever state the chaos run left behind —
-			// complete, partial, torn, or bit-flipped checkpoints — a
-			// chaos-free resume over the same directory must converge to
-			// the reference tables. Corrupt entries must be recomputed,
-			// never served.
-			resumed, rerr := RunSuiteCheckpointed(context.Background(), cfg, req, dir, nil, nil)
+			// complete, partial, torn, or bit-flipped checkpoints or cache
+			// entries — a chaos-free resume over the same directories must
+			// converge to the reference tables. Corrupt entries must be
+			// recomputed, never served.
+			rstore, rserr := cache.Open(cdir, 0)
+			if rserr != nil {
+				t.Fatalf("cache reopen: %v", rserr)
+			}
+			rctx := cache.With(context.Background(), rstore)
+			resumed, rerr := RunSuiteCheckpointed(rctx, cfg, req, dir, nil, nil)
 			if rerr != nil {
 				fail("resume after chaos failed: %v", rerr)
 				return
@@ -217,6 +237,11 @@ func TestChaosSoak(t *testing.T) {
 				fail("resume after chaos produced wrong tables\n got: %s\nwant: %s", got, want)
 				return
 			}
+			rr := rstore.Report()
+			mu.Lock()
+			cacheTraffic += rr.Hits + rr.Misses
+			cacheCorrupt += rr.Corrupt
+			mu.Unlock()
 			// Durability hygiene: no stray temp files survive any path.
 			ents, _ := os.ReadDir(dir)
 			for _, e := range ents {
@@ -231,6 +256,10 @@ func TestChaosSoak(t *testing.T) {
 		if len(failing) == 0 && injected == 0 && *soakSeeds > 0 {
 			t.Errorf("soak injected zero faults across %d seeds — chaos points are not armed", *soakSeeds)
 		}
+		if len(failing) == 0 && cacheTraffic == 0 && *soakSeeds > 0 {
+			t.Errorf("soak saw zero cache traffic across %d seeds — cache points are not wired", *soakSeeds)
+		}
+		t.Logf("cache: %d lookups, %d corrupt entries degraded to misses", cacheTraffic, cacheCorrupt)
 	})
 }
 

@@ -14,6 +14,7 @@ package exper
 import (
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"fastmon/internal/circuit"
@@ -26,6 +27,10 @@ type Spec struct {
 	FFs      int // Table I column 3
 	Patterns int // Table I column 4 (|P| of the commercial ATPG set)
 	Seed     int64
+	// Bench, when non-empty, is a literal .bench netlist: Build parses it
+	// instead of generating a synthetic circuit, and Scale is ignored.
+	// Used for the tiny ISCAS reference circuits (s27) in smoke runs.
+	Bench string
 }
 
 // PaperSuite lists the twelve evaluation circuits with their Table I
@@ -45,9 +50,23 @@ var PaperSuite = []Spec{
 	{Name: "p141k", Gates: 107655, FFs: 10501, Patterns: 824, Seed: 141},
 }
 
-// SpecByName returns the suite entry with the given name.
+// ExtraSuite lists circuits selectable by name but not part of the paper
+// suite: the tiny ISCAS'89 reference netlists, embedded verbatim, for
+// smoke tests and cache warm-up checks that need a fixed real circuit.
+var ExtraSuite = []Spec{
+	{Name: "s27", Gates: 10, FFs: 3, Patterns: 32, Seed: 27, Bench: circuit.S27},
+	{Name: "c17", Gates: 6, FFs: 0, Patterns: 32, Seed: 17, Bench: circuit.C17},
+}
+
+// SpecByName returns the suite entry with the given name, consulting the
+// paper suite first and the extra reference circuits second.
 func SpecByName(name string) (Spec, bool) {
 	for _, s := range PaperSuite {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range ExtraSuite {
 		if s.Name == name {
 			return s, true
 		}
@@ -84,8 +103,12 @@ func (s Spec) GenSpec(scale float64) circuit.GenSpec {
 	}
 }
 
-// Build generates the scaled netlist for the spec.
+// Build generates the scaled netlist for the spec, or parses the embedded
+// netlist for literal specs (Bench non-empty).
 func (s Spec) Build(scale float64) (*circuit.Circuit, error) {
+	if s.Bench != "" {
+		return circuit.ParseBench(s.Name, strings.NewReader(s.Bench))
+	}
 	return circuit.Generate(s.GenSpec(scale))
 }
 

@@ -45,6 +45,11 @@ const (
 	// atomic file replacement, fsync, record checksum verification and
 	// the retry machinery around them.
 	StageIO Stage = "io"
+	// StageCache marks faults injected into the result-cache I/O paths
+	// (internal/cache). The cache itself never surfaces errors — corrupt
+	// or unreadable entries degrade to misses — so this stage appears in
+	// chaos attribution, not in pipeline errors.
+	StageCache Stage = "cache"
 )
 
 // Error attributes a wrapped error to a pipeline stage and operation.

@@ -9,6 +9,7 @@
 package interval
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -300,6 +301,29 @@ func (s Set) Canonical() bool {
 		}
 	}
 	return true
+}
+
+// MarshalJSON encodes the set as a flat boundary list [lo1,hi1,lo2,hi2,...]
+// (the FromPoints shape). The representation is canonical, so marshalling
+// round-trips bit-exactly — the result cache relies on this to hand back
+// detection ranges identical to the ones it stored.
+func (s Set) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Boundaries())
+}
+
+// UnmarshalJSON decodes a boundary list and re-canonicalizes. Odd-length
+// boundary lists are rejected so a truncated payload cannot decode into a
+// plausible but wrong set.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var pts []tunit.Time
+	if err := json.Unmarshal(data, &pts); err != nil {
+		return err
+	}
+	if len(pts)%2 != 0 {
+		return fmt.Errorf("interval: odd boundary list (%d points)", len(pts))
+	}
+	*s = FromPoints(pts...)
+	return nil
 }
 
 func (s Set) String() string {

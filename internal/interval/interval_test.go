@@ -1,6 +1,7 @@
 package interval
 
 import (
+	"encoding/json"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -351,4 +352,76 @@ func TestFromPointsPanics(t *testing.T) {
 		}
 	}()
 	FromPoints(1, 2, 3)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	cases := []Set{
+		{},
+		set(1, 5),
+		set(0, 3, 10, 20, 30, 31),
+		FromPoints(-5, -1, 4, 9),
+	}
+	for _, s := range cases {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", s, err)
+		}
+		var got Set
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !got.Equal(s) {
+			t.Fatalf("round trip changed the set: %v -> %s -> %v", s, data, got)
+		}
+	}
+	// A set inside a struct field must round-trip too (the cache stores
+	// detection intervals as struct fields).
+	type wrap struct{ FF, SR Set }
+	w := wrap{FF: set(2, 8, 12, 16), SR: set(1, 3)}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got wrap
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.FF.Equal(w.FF) || !got.SR.Equal(w.SR) {
+		t.Fatalf("struct round trip mismatch: %+v", got)
+	}
+}
+
+func TestJSONRoundTripQuick(t *testing.T) {
+	f := func(pts []int16) bool {
+		ts := make([]tunit.Time, len(pts))
+		for i, p := range pts {
+			ts[i] = tunit.Time(p)
+		}
+		if len(ts)%2 == 1 {
+			ts = ts[:len(ts)-1]
+		}
+		s := FromPoints(ts...)
+		data, err := json.Marshal(s)
+		if err != nil {
+			return false
+		}
+		var got Set
+		if err := json.Unmarshal(data, &got); err != nil {
+			return false
+		}
+		return got.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRejectsOddBoundaries(t *testing.T) {
+	var s Set
+	if err := json.Unmarshal([]byte("[1,2,3]"), &s); err == nil {
+		t.Fatal("odd boundary count accepted")
+	}
+	if err := json.Unmarshal([]byte(`"nope"`), &s); err == nil {
+		t.Fatal("non-array accepted")
+	}
 }

@@ -68,6 +68,9 @@ const (
 	// KindDump marks the dump itself (the trigger is in Detail), so a
 	// journal records why it exists.
 	KindDump Kind = "dump"
+	// KindCache marks result-cache traffic; Name is the stage key,
+	// Detail "hit"/"miss"/"put"/"evict"/"corrupt", Value the entry size.
+	KindCache Kind = "cache"
 	// KindNote is a free-form annotation (CLI lifecycle, signals).
 	KindNote Kind = "note"
 )

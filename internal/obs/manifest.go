@@ -56,8 +56,32 @@ type Manifest struct {
 	// point and replay it from the manifest alone.
 	Chaos *ChaosReport `json:"chaos,omitempty"`
 
+	// Cache summarizes the content-addressed result cache when the run
+	// was cache-armed: directory, budget, and hit/miss/eviction traffic.
+	Cache *CacheReport `json:"cache,omitempty"`
+
 	// Metrics is the registry snapshot at the end of the run.
 	Metrics Snapshot `json:"metrics"`
+}
+
+// CacheReport is the manifest's result-cache summary. It is defined here
+// (not in internal/cache, which imports obs) so the manifest stays free of
+// an import cycle; cache.Store.Report constructs it.
+type CacheReport struct {
+	Dir      string `json:"dir"`
+	MaxBytes int64  `json:"max_bytes,omitempty"`
+	Entries  int    `json:"entries"`
+	Bytes    int64  `json:"bytes"`
+	Hits     int64  `json:"hits"`
+	Misses   int64  `json:"misses"`
+	// Shared counts singleflight waiters served from an in-process
+	// leader's result rather than disk.
+	Shared    int64 `json:"shared,omitempty"`
+	Corrupt   int64 `json:"corrupt,omitempty"`
+	Evictions int64 `json:"evictions,omitempty"`
+	Puts      int64 `json:"puts,omitempty"`
+	// WriteErrors counts best-effort Put failures (marshal or disk).
+	WriteErrors int64 `json:"write_errors,omitempty"`
 }
 
 // ChaosReport is the manifest's fault-injection summary.

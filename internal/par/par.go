@@ -33,6 +33,22 @@ func ClampWorkers(w int) int {
 	return w
 }
 
+// ClampWorkersFor applies ClampWorkers and additionally caps the pool at
+// the number of work items, never below one: a fan-out over n items gains
+// nothing from more than n workers. This is the shared rule for
+// item-bounded pools (the exper suite fan-out over circuits, diagnosis
+// over candidate faults).
+func ClampWorkersFor(w, items int) int {
+	w = ClampWorkers(w)
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Frontier is a shared pool of subproblems for parallel tree search. It
 // behaves as a LIFO stack (newest subproblem first, approximating the
 // depth-first order of the serial search and bounding memory), hands out

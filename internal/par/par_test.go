@@ -116,3 +116,23 @@ func TestRunSingleWorkerInline(t *testing.T) {
 		t.Fatal("worker did not run")
 	}
 }
+
+func TestClampWorkersFor(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct{ w, items, want int }{
+		{0, 10, min(max, 10)},
+		{1, 10, 1},
+		{4, 2, min(min(4, max), 2)},
+		{4, 0, 1},  // zero items still needs one worker
+		{-3, 1, 1}, // negative request clamps like zero, then item cap
+		{2, 1, 1},
+	}
+	for _, c := range cases {
+		if got := ClampWorkersFor(c.w, c.items); got != c.want {
+			t.Errorf("ClampWorkersFor(%d, %d) = %d, want %d", c.w, c.items, got, c.want)
+		}
+	}
+	if got := ClampWorkersFor(0, 1<<30); got != max {
+		t.Errorf("huge item count: got %d, want GOMAXPROCS %d", got, max)
+	}
+}

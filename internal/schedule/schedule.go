@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"fastmon/internal/bitset"
+	"fastmon/internal/cache"
 	"fastmon/internal/chaos"
 	"fastmon/internal/detect"
 	"fastmon/internal/dot"
@@ -199,6 +200,56 @@ func (s *Schedule) Size() int {
 // incumbent (recorded in Schedule.Degradation). Cancelling ctx aborts the
 // whole construction with a stage-attributed error.
 func Build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule, error) {
+	if store := cache.From(ctx); store != nil {
+		v, err := cache.Memo(ctx, store, cacheKey(data, opt),
+			func(ctx context.Context) (Schedule, error) {
+				s, err := build(ctx, data, opt)
+				if err != nil {
+					return Schedule{}, err
+				}
+				return *s, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		return &v, nil
+	}
+	return build(ctx, data, opt)
+}
+
+// cacheKey fingerprints everything Build's output depends on. The schedule
+// works on indices into the target data, so the fault identities are
+// irrelevant; what matters is the exact detection-range structure (the
+// Step-1 frequency cover and the Step-2 combo covers are both functions of
+// it), the delay elements, the method, the coverage target, and the solver
+// budget (a different budget can settle on a different incumbent). Worker
+// count is excluded: builds are bit-identical for any parallelism.
+func cacheKey(data []detect.FaultData, opt Options) cache.Key {
+	h := cache.NewHasher("schedule")
+	h.Int("faults", int64(len(data)))
+	for i := range data {
+		fd := &data[i]
+		h.Int("fd.per", int64(len(fd.Per)))
+		for _, pr := range fd.Per {
+			h.Int("pr.pattern", int64(pr.Pattern))
+			h.Times("pr.ff", pr.FF.Boundaries())
+			h.Times("pr.sr", pr.SR.Boundaries())
+		}
+	}
+	h.Time("cfg.clk", opt.Cfg.Clk)
+	h.Time("cfg.tmin", opt.Cfg.TMin)
+	h.Time("cfg.delta", opt.Cfg.Delta)
+	h.Time("cfg.glitch", opt.Cfg.Glitch)
+	h.Times("delays", opt.Delays)
+	h.Int("method", int64(opt.Method))
+	h.F64("coverage", opt.Coverage)
+	h.Bool("freeconfig", opt.FreeConfig)
+	h.Int("budget_ns", int64(opt.budget()))
+	return h.Key()
+}
+
+// build is the uncached body of Build.
+func build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule, error) {
 	delays := opt.Delays
 	if opt.Method == Conventional {
 		delays = nil

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestPatternJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		p := Pattern{V1: make([]bool, n), V2: make([]bool, n)}
+		for i := 0; i < n; i++ {
+			p.V1[i] = rng.Intn(2) == 1
+			p.V2[i] = rng.Intn(2) == 1
+		}
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Pattern
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if len(got.V1) != n || len(got.V2) != n {
+			t.Fatalf("length changed: %s", data)
+		}
+		for i := 0; i < n; i++ {
+			if got.V1[i] != p.V1[i] || got.V2[i] != p.V2[i] {
+				t.Fatalf("bit %d changed: %s", i, data)
+			}
+		}
+	}
+}
+
+func TestPatternJSONRejectsBadInput(t *testing.T) {
+	var p Pattern
+	if err := json.Unmarshal([]byte(`{"v1":"01","v2":"011"}`), &p); err == nil {
+		t.Fatal("mismatched vector lengths accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"v1":"0x","v2":"01"}`), &p); err == nil {
+		t.Fatal("invalid bit character accepted")
+	}
+}
