@@ -5,10 +5,13 @@
 // document with per-benchmark numbers plus the speedups of paired
 // sub-benchmarks:
 //
-//	go test -run '^$' -bench 'BenchmarkDetect|BenchmarkFaultSim' -json \
+//	go test -run '^$' -bench 'BenchmarkDetect|BenchmarkFaultSim' -benchmem -json \
 //	    ./internal/sim | benchjson -o BENCH_detect.json
-//	go test -run '^$' -bench 'BenchmarkSetCover|BenchmarkScheduleBuild' -json \
+//	go test -run '^$' -bench 'BenchmarkSetCover|BenchmarkScheduleBuild' -benchmem -json \
 //	    ./internal/ilp ./internal/schedule | benchjson -o BENCH_schedule.json
+//
+// Run benchmarks with -benchmem: the report always carries bytes_per_op
+// and allocs_per_op, and -compare gates on allocs/op as well as ns/op.
 //
 // Two pairings are recognized: /event vs /naive variants (the fault-
 // simulation engines; speedup = naive/event) and /parallel vs /serial
@@ -59,7 +62,9 @@ type event struct {
 	Output string `json:"Output"`
 }
 
-// Result is one benchmark line.
+// Result is one benchmark line. BytesPerOp/AllocsPerOp are always
+// emitted (benchmarks are expected to run with -benchmem, so a zero means
+// "genuinely allocation-free", not "memory stats missing").
 type Result struct {
 	Name string `json:"name"`
 	// Pkg is the import path the result came from; set only when the
@@ -67,8 +72,8 @@ type Result struct {
 	Pkg         string  `json:"pkg,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
 // Report is the emitted document.
@@ -285,12 +290,17 @@ func loadReport(path string) (*Report, error) {
 }
 
 // delta is one benchmark's baseline-vs-fresh comparison; Ratio is
-// fresh/baseline ns/op (1.10 = 10% slower than the committed numbers).
+// fresh/baseline ns/op (1.10 = 10% slower than the committed numbers) and
+// AllocRatio the matching allocs/op quotient (0 when the committed entry
+// predates -benchmem and has no alloc counts to gate on).
 type delta struct {
-	Name    string
-	BaseNs  float64
-	FreshNs float64
-	Ratio   float64
+	Name        string
+	BaseNs      float64
+	FreshNs     float64
+	Ratio       float64
+	BaseAllocs  int64
+	FreshAllocs int64
+	AllocRatio  float64
 }
 
 // compareReports matches benchmarks by (package, name) and returns the
@@ -305,21 +315,28 @@ func compareReports(base, fresh *Report) (deltas []delta, added, removed []strin
 		}
 		return r.Name
 	}
-	baseNs := map[string]float64{}
+	baseBy := map[string]Result{}
 	baseSeen := map[string]bool{}
 	for _, r := range base.Benchmarks {
-		baseNs[key(r)] = r.NsPerOp
+		baseBy[key(r)] = r
 	}
 	for _, r := range fresh.Benchmarks {
-		b, ok := baseNs[key(r)]
+		b, ok := baseBy[key(r)]
 		if !ok {
 			added = append(added, label(r))
 			continue
 		}
 		baseSeen[key(r)] = true
-		d := delta{Name: label(r), BaseNs: b, FreshNs: r.NsPerOp}
-		if b > 0 {
-			d.Ratio = r.NsPerOp / b
+		d := delta{
+			Name:   label(r),
+			BaseNs: b.NsPerOp, FreshNs: r.NsPerOp,
+			BaseAllocs: b.AllocsPerOp, FreshAllocs: r.AllocsPerOp,
+		}
+		if b.NsPerOp > 0 {
+			d.Ratio = r.NsPerOp / b.NsPerOp
+		}
+		if b.AllocsPerOp > 0 {
+			d.AllocRatio = float64(r.AllocsPerOp) / float64(b.AllocsPerOp)
 		}
 		deltas = append(deltas, d)
 	}
@@ -336,8 +353,9 @@ func compareReports(base, fresh *Report) (deltas []delta, added, removed []strin
 
 // runCompare diffs a fresh bench run on stdin against the committed
 // report at basePath and fails (non-nil error) when any shared benchmark
-// is more than threshold slower than its committed ns/op. It never
-// writes -o: compare mode is a read-only regression gate.
+// is more than threshold slower than its committed ns/op, or allocates
+// more than threshold beyond its committed allocs/op. It never writes
+// -o: compare mode is a read-only regression gate.
 func runCompare(w io.Writer, in io.Reader, basePath string, threshold float64) error {
 	fresh, err := readReport(in)
 	if err != nil {
@@ -359,8 +377,12 @@ func runCompare(w io.Writer, in io.Reader, basePath string, threshold float64) e
 			mark = "  REGRESSION"
 			regressed = append(regressed, d.Name)
 		}
-		fmt.Fprintf(w, "%-48s %14.0f -> %14.0f ns/op  %+.1f%%%s\n",
-			d.Name, d.BaseNs, d.FreshNs, (d.Ratio-1)*100, mark)
+		if d.AllocRatio > 1+threshold {
+			mark += "  ALLOC-REGRESSION"
+			regressed = append(regressed, d.Name+" (allocs)")
+		}
+		fmt.Fprintf(w, "%-48s %14.0f -> %14.0f ns/op  %+.1f%%  %8d -> %8d allocs/op%s\n",
+			d.Name, d.BaseNs, d.FreshNs, (d.Ratio-1)*100, d.BaseAllocs, d.FreshAllocs, mark)
 	}
 	for _, n := range added {
 		fmt.Fprintf(w, "%-48s (new: no committed baseline)\n", n)

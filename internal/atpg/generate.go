@@ -5,6 +5,8 @@ import (
 	"log/slog"
 	"math/bits"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"fastmon/internal/cache"
 	"fastmon/internal/chaos"
@@ -13,21 +15,25 @@ import (
 	"fastmon/internal/fmerr"
 	"fastmon/internal/logic"
 	"fastmon/internal/obs"
+	"fastmon/internal/par"
 	"fastmon/internal/sim"
 )
 
 // Chaos injection points at the phase boundaries of test generation,
-// aligned with the cancellation polls.
+// aligned with the cancellation polls, plus the ordered-commit boundary of
+// the speculative deterministic phase (fired once per committed pattern,
+// identically in serial and parallel runs).
 var (
 	ptRandom = chaos.Register("atpg.random", fmerr.StageATPG)
 	ptPodem  = chaos.Register("atpg.podem", fmerr.StageATPG)
+	ptCommit = chaos.Register("atpg.commit", fmerr.StageATPG)
 )
 
 // Config controls test generation.
 type Config struct {
 	// RandomBatches is the number of 64-pattern random blocks tried before
-	// deterministic generation (two consecutive useless blocks also end
-	// the phase).
+	// deterministic generation (four consecutive useless blocks also end
+	// the phase early).
 	RandomBatches int
 	// MaxBacktracks bounds each PODEM/justification run.
 	MaxBacktracks int
@@ -35,6 +41,13 @@ type Config struct {
 	Seed int64
 	// Compact enables reverse-order static compaction.
 	Compact bool
+	// Workers bounds the speculative worker pool of the deterministic
+	// PODEM phase, resolved by par.ClampWorkersFor (0 means every CPU).
+	// The emitted pattern set is byte-identical at any worker count — the
+	// single committer replays the serial fault order exactly — so Workers
+	// is deliberately excluded from the cache key (§10 determinism
+	// contract).
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by the experiment harness.
@@ -72,7 +85,9 @@ func (s Stats) Coverage() float64 {
 // together with a stage-attributed error.
 func Generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg Config) ([]sim.Pattern, Stats, error) {
 	if cfg.RandomBatches == 0 && cfg.MaxBacktracks == 0 {
+		w := cfg.Workers
 		cfg = DefaultConfig(cfg.Seed)
+		cfg.Workers = w
 	}
 	if store := cache.From(ctx); store != nil {
 		v, err := cache.Memo(ctx, store, cacheKey(c, faults, cfg),
@@ -95,6 +110,8 @@ type cached struct {
 // canonical netlist, the source ordering the pattern vectors are indexed
 // by, the exact target fault list (by gate name, so the component composes
 // with the order-invariant netlist fingerprint), and the generator config.
+// Config.Workers is intentionally absent: the ordered-commit design makes
+// the output independent of the worker count.
 func cacheKey(c *circuit.Circuit, faults []fault.Fault, cfg Config) cache.Key {
 	h := cache.NewHasher("atpg")
 	h.Str("circuit", cache.CircuitFingerprint(c))
@@ -114,12 +131,65 @@ func cacheKey(c *circuit.Circuit, faults []fault.Fault, cfg Config) cache.Key {
 	return h.Key()
 }
 
+// candidate is one speculatively produced deterministic-phase result: the
+// full outcome of PODEM + justification + don't-care fill for one fault,
+// computed by a worker without knowledge of patterns committed after it
+// started. The committer either applies it (fault still undetected in
+// serial order) or discards it as stale speculation.
+type candidate struct {
+	// skipped marks that the worker saw the fault's detection hint and
+	// produced nothing. Hints are published only after the authoritative
+	// detected[] update, so a skipped candidate always meets a detected
+	// fault at commit time.
+	skipped bool
+	runRes  podemResult
+	runBt   int
+	jRes    podemResult // valid only when runRes == testFound
+	jBt     int
+	pat     sim.Pattern // valid only when runRes == jRes == testFound
+}
+
+// produceCandidate runs the full per-fault deterministic pipeline: PODEM
+// for the launch vector V2, justification of the pre-transition site value
+// for V1, and per-fault-keyed don't-care fill. It is a pure function of
+// (analysis, fault, index, config) — machines are pooled scratch, and the
+// fill stream is keyed on the fault index, never on shared mutable state —
+// which is what makes speculative execution sound.
+func produceCandidate(an *analysis, f fault.Fault, fi int, cfg Config) candidate {
+	stuck := v0
+	if !f.Rising {
+		stuck = v1
+	}
+	m := newMachineWith(an, f, stuck)
+	res := m.run(cfg.MaxBacktracks)
+	cd := candidate{runRes: res, runBt: m.backtracks}
+	if res != testFound {
+		an.release(m)
+		return cd
+	}
+	site := m.siteNet()
+	// Justify V1 on a second machine while m still holds the V2 assignment
+	// (saves the defensive copy the serial path used to make).
+	jm := newMachineWith(an, fault.Fault{Gate: site, Pin: -1}, stuck.not())
+	cd.jBt, cd.jRes = jm.justify(site, stuck, cfg.MaxBacktracks)
+	if cd.jRes == testFound {
+		rng := newFillRNG(cfg.Seed, fi)
+		cd.pat = sim.Pattern{V1: fill(jm.assign, &rng), V2: fill(m.assign, &rng)}
+	}
+	an.release(jm)
+	an.release(m)
+	return cd
+}
+
 // generate is the uncached body of Generate.
 func generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg Config) ([]sim.Pattern, Stats, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	nsrc := len(c.Sources())
 	st := Stats{Faults: len(faults)}
+	var discards, busyNs atomic.Int64
+	workers := par.ClampWorkersFor(cfg.Workers, len(faults))
 	_, span := obs.StartSpan(ctx, "atpg")
+	phaseStart := time.Now()
 	defer func() {
 		o := obs.From(ctx)
 		o.Counter("atpg.patterns").Add(int64(st.Patterns))
@@ -128,33 +198,53 @@ func generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg
 		o.Counter("atpg.aborted").Add(int64(st.Aborted))
 		o.Counter("atpg.untestable").Add(int64(st.Untestable))
 		o.Counter("atpg.random_detected").Add(int64(st.RandomDetected))
+		o.Counter("atpg.speculative_discards").Add(discards.Load())
+		if wall := time.Since(phaseStart); wall > 0 && workers > 0 {
+			o.Gauge("atpg.worker_utilization").Set(
+				float64(busyNs.Load()) / float64(int64(wall)*int64(workers)))
+		}
 		span.End(
 			slog.Int("faults", st.Faults),
 			slog.Int("patterns", st.Patterns),
 			slog.Int("backtracks", st.Backtracks),
-			slog.Int("aborted", st.Aborted))
+			slog.Int("aborted", st.Aborted),
+			slog.Int("workers", workers),
+			slog.Int64("speculative_discards", discards.Load()))
 	}()
 
 	detected := make([]bool, len(faults))
 	var patterns []sim.Pattern
 
 	// dropPass removes faults detected by patterns[from:] from the
-	// remaining set.
+	// remaining set, reusing one Batch's packed-vector scratch across
+	// 64-pattern chunks. publish, when non-nil, mirrors fresh detections
+	// into the lock-free hint array read by speculative workers.
+	var db logic.Batch
+	var publish func(fi int)
 	dropPass := func(from int) {
 		for start := from; start < len(patterns); start += 64 {
-			b := logic.NewBatch(c, patterns, start)
+			db.Load(c, patterns, start)
 			for fi := range faults {
 				if detected[fi] {
 					continue
 				}
-				if b.DetectTransition(faults[fi]) != 0 {
+				if db.DetectTransition(faults[fi]) != 0 {
 					detected[fi] = true
+					if publish != nil {
+						publish(fi)
+					}
 				}
 			}
 		}
 	}
 
-	// Random phase.
+	// Random phase. The 64-pattern block buffers are reused across batches;
+	// only the (rare) patterns promoted into the output set get fresh
+	// backing arrays.
+	blk := make([]sim.Pattern, 64)
+	for i := range blk {
+		blk[i] = sim.Pattern{V1: make([]bool, nsrc), V2: make([]bool, nsrc)}
+	}
 	misses := 0
 	for batch := 0; batch < cfg.RandomBatches && misses < 4; batch++ {
 		if err := ctx.Err(); err != nil {
@@ -163,21 +253,19 @@ func generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg
 		if err := chaos.Point(ctx, ptRandom); err != nil {
 			return patterns, st, fmerr.Wrap(fmerr.StageATPG, "random-phase", err)
 		}
-		blk := make([]sim.Pattern, 64)
 		for i := range blk {
-			blk[i] = sim.Pattern{V1: make([]bool, nsrc), V2: make([]bool, nsrc)}
 			for j := 0; j < nsrc; j++ {
 				blk[i].V1[j] = rng.Intn(2) == 1
 				blk[i].V2[j] = rng.Intn(2) == 1
 			}
 		}
-		b := logic.NewBatch(c, blk, 0)
+		db.Load(c, blk, 0)
 		useful := make(map[int][]int) // pattern index -> fault indices
 		for fi := range faults {
 			if detected[fi] {
 				continue
 			}
-			det := b.DetectTransition(faults[fi])
+			det := db.DetectTransition(faults[fi])
 			if det == 0 {
 				continue
 			}
@@ -195,6 +283,7 @@ func generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg
 				continue
 			}
 			patterns = append(patterns, blk[k])
+			blk[k] = sim.Pattern{V1: make([]bool, nsrc), V2: make([]bool, nsrc)}
 			for _, fi := range fis {
 				detected[fi] = true
 				st.RandomDetected++
@@ -202,56 +291,97 @@ func generate(ctx context.Context, c *circuit.Circuit, faults []fault.Fault, cfg
 		}
 	}
 
-	// Deterministic phase.
+	// Deterministic phase: speculative PODEM with ordered commit. Workers
+	// produce candidates concurrently against the shared immutable
+	// analysis; the single committer below replays the serial loop
+	// verbatim — skip-if-detected, stats accrual, pattern append and the
+	// 32-pattern drop-pass cadence — in strict fault-index order, so the
+	// output is byte-identical at any worker count. Speculation produced
+	// for faults that a later-committed pattern already covers is simply
+	// discarded (counted in atpg.speculative_discards).
 	an := newAnalysis(c)
+	hints := make([]atomic.Bool, len(faults))
+	for fi, d := range detected {
+		if d {
+			hints[fi].Store(true)
+		}
+	}
+	publish = func(fi int) { hints[fi].Store(true) }
 	lastDrop := len(patterns)
-	for fi := range faults {
-		if fi&63 == 0 {
-			if err := ctx.Err(); err != nil {
-				return patterns, st, fmerr.Wrap(fmerr.StageATPG, "deterministic-phase", err)
+	var phaseErr error
+	window := workers * 32
+	if window < 64 {
+		window = 64
+	}
+	par.OrderedCommit(workers, len(faults), window,
+		func(id, fi int) candidate {
+			t0 := time.Now()
+			defer func() { busyNs.Add(int64(time.Since(t0))) }()
+			if hints[fi].Load() {
+				// Already covered by committed patterns: skip the PODEM run.
+				// The hint lags the authoritative detected[] array, never
+				// leads it, so the committer's own check stays decisive.
+				return candidate{skipped: true}
 			}
-			if err := chaos.Point(ctx, ptPodem); err != nil {
-				return patterns, st, fmerr.Wrap(fmerr.StageATPG, "deterministic-phase", err)
+			return produceCandidate(an, faults[fi], fi, cfg)
+		},
+		func(fi int, cd candidate) bool {
+			if fi&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					phaseErr = fmerr.Wrap(fmerr.StageATPG, "deterministic-phase", err)
+					return false
+				}
+				if err := chaos.Point(ctx, ptPodem); err != nil {
+					phaseErr = fmerr.Wrap(fmerr.StageATPG, "deterministic-phase", err)
+					return false
+				}
 			}
-		}
-		if detected[fi] {
-			continue
-		}
-		f := faults[fi]
-		stuck := v0
-		if !f.Rising {
-			stuck = v1
-		}
-		m := newMachineWith(an, f, stuck)
-		pres := m.run(cfg.MaxBacktracks)
-		st.Backtracks += m.backtracks
-		switch pres {
-		case untestable:
-			st.Untestable++
-			continue
-		case aborted:
-			st.Aborted++
-			continue
-		}
-		v2 := append([]value(nil), m.assign...)
-		v1assign, jbt, jres := justifyWith(an, m.siteNet(), stuck, cfg.MaxBacktracks)
-		st.Backtracks += jbt
-		switch jres {
-		case untestable:
-			// The site cannot take the pre-transition value at all: the
-			// transition fault is untestable.
-			st.Untestable++
-			continue
-		case aborted:
-			st.Aborted++
-			continue
-		}
-		patterns = append(patterns, sim.Pattern{V1: fill(v1assign, rng), V2: fill(v2, rng)})
-		detected[fi] = true
-		if len(patterns)-lastDrop >= 32 {
-			dropPass(lastDrop)
-			lastDrop = len(patterns)
-		}
+			if detected[fi] {
+				if !cd.skipped {
+					discards.Add(1)
+				}
+				return true
+			}
+			if cd.skipped {
+				// Unreachable under the hint invariant; regenerate inline
+				// rather than corrupt the output if it is ever violated.
+				cd = produceCandidate(an, faults[fi], fi, cfg)
+			}
+			st.Backtracks += cd.runBt
+			switch cd.runRes {
+			case untestable:
+				st.Untestable++
+				return true
+			case aborted:
+				st.Aborted++
+				return true
+			}
+			st.Backtracks += cd.jBt
+			switch cd.jRes {
+			case untestable:
+				// The site cannot take the pre-transition value at all: the
+				// transition fault is untestable.
+				st.Untestable++
+				return true
+			case aborted:
+				st.Aborted++
+				return true
+			}
+			if err := chaos.Point(ctx, ptCommit); err != nil {
+				phaseErr = fmerr.Wrap(fmerr.StageATPG, "commit", err)
+				return false
+			}
+			patterns = append(patterns, cd.pat)
+			detected[fi] = true
+			hints[fi].Store(true)
+			if len(patterns)-lastDrop >= 32 {
+				dropPass(lastDrop)
+				lastDrop = len(patterns)
+			}
+			return true
+		})
+	if phaseErr != nil {
+		return patterns, st, phaseErr
 	}
 	dropPass(lastDrop)
 
@@ -288,8 +418,9 @@ func compact(c *circuit.Circuit, patterns []sim.Pattern, faults []fault.Fault, d
 			nRemaining++
 		}
 	}
+	var b logic.Batch
 	for start := 0; start < len(rev) && nRemaining > 0; start += 64 {
-		b := logic.NewBatch(c, rev, start)
+		b.Load(c, rev, start)
 		for fi := range faults {
 			if !remaining[fi] {
 				continue
@@ -317,8 +448,9 @@ func compact(c *circuit.Circuit, patterns []sim.Pattern, faults []fault.Fault, d
 // (used by tests and the experiment harness to validate coverage claims).
 func Verify(c *circuit.Circuit, patterns []sim.Pattern, faults []fault.Fault) []bool {
 	detected := make([]bool, len(faults))
+	var b logic.Batch
 	for start := 0; start < len(patterns); start += 64 {
-		b := logic.NewBatch(c, patterns, start)
+		b.Load(c, patterns, start)
 		for fi := range faults {
 			if detected[fi] {
 				continue

@@ -11,7 +11,7 @@
 package atpg
 
 import (
-	"sort"
+	"sync"
 
 	"fastmon/internal/circuit"
 	"fastmon/internal/fault"
@@ -125,14 +125,20 @@ func controlling(kind circuit.Kind) (value, bool) {
 // PODEM machine of one circuit: SCOAP-like controllability costs,
 // observability depths, and the tap/source index tables. Computing it
 // once per circuit instead of once per fault dominates ATPG throughput on
-// large designs.
+// large designs. It also owns the machine pool: PODEM scratch state
+// (assignment, dual machine values, dirty versions, search stacks) is
+// recycled across faults instead of reallocated per target, and the pool
+// is safe for the concurrent speculative workers of the parallel phase.
 type analysis struct {
 	c        *circuit.Circuit
 	taps     []circuit.Tap
+	srcs     []int       // cached c.Sources() (per-call allocation otherwise)
 	srcIdx   map[int]int // source gate ID -> source order index
 	cc0, cc1 []int       // SCOAP-style controllability costs per net
 	obsDepth []int       // min fanout hops to an observation point (-1: none)
 	tapGate  map[int]bool
+
+	pool sync.Pool // *machine scratch, recycled across faults
 }
 
 // machine is the dual good/faulty 3-valued circuit state of one PODEM run.
@@ -163,16 +169,28 @@ type machine struct {
 	// implication: dirtyVer[id] == curVer marks a changed net.
 	dirtyVer []int
 	curVer   int
+
+	// Reusable per-decision scratch: gate-input values for evalAt, the
+	// PODEM decision stack, the D-frontier buffer, and the visited set of
+	// the X-path check (seenVer[id] == seenCur marks visited). All survive
+	// release/acquire cycles so steady-state PODEM allocates nothing.
+	gin, bin []value
+	stack    []decision
+	frontier []int
+	seenVer  []int
+	seenCur  int
+	xstack   []int
 }
 
 func newAnalysis(c *circuit.Circuit) *analysis {
 	a := &analysis{
 		c:       c,
 		taps:    c.Taps(),
+		srcs:    c.Sources(),
 		srcIdx:  map[int]int{},
 		tapGate: map[int]bool{},
 	}
-	for i, id := range c.Sources() {
+	for i, id := range a.srcs {
 		a.srcIdx[id] = i
 	}
 	for _, tap := range a.taps {
@@ -186,26 +204,53 @@ func newMachine(c *circuit.Circuit, f fault.Fault, stuck value) *machine {
 	return newMachineWith(newAnalysis(c), f, stuck)
 }
 
+// newMachineWith acquires a machine from the analysis pool and retargets
+// it at the given fault. Callers must return it with release when the
+// run's results have been copied out; the pool keeps steady-state PODEM
+// allocation-free even across concurrent speculative workers.
 func newMachineWith(an *analysis, f fault.Fault, stuck value) *machine {
-	m := &machine{
-		analysis: an,
-		flt:      f, stuck: stuck,
-		assign:   make([]value, len(an.c.Sources())),
-		good:     make([]value, len(an.c.Gates)),
-		bad:      make([]value, len(an.c.Gates)),
-		dirtyVer: make([]int, len(an.c.Gates)),
+	m, _ := an.pool.Get().(*machine)
+	if m == nil {
+		n := len(an.c.Gates)
+		m = &machine{
+			analysis: an,
+			assign:   make([]value, len(an.srcs)),
+			good:     make([]value, n),
+			bad:      make([]value, n),
+			dirtyVer: make([]int, n),
+			seenVer:  make([]int, n),
+			gin:      make([]value, 0, 8),
+			bin:      make([]value, 0, 8),
+		}
+	}
+	m.reset(f, stuck)
+	return m
+}
+
+// release returns a machine to its analysis pool. The machine must not be
+// used afterwards; in particular m.assign is recycled, so copy it first.
+func (an *analysis) release(m *machine) { an.pool.Put(m) }
+
+// reset retargets a pooled machine at a new fault. good/bad need no
+// clearing (imply rewrites every gate before they are read) and
+// dirtyVer/seenVer survive because their versions are monotone.
+func (m *machine) reset(f fault.Fault, stuck value) {
+	m.flt, m.stuck = f, stuck
+	m.backtracks = 0
+	for i := range m.assign {
+		m.assign[i] = vX
 	}
 	site := m.siteNet()
-	m.siteCone = an.c.FanoutCone(site)
-	if an.tapGate[site] {
+	m.siteCone = m.c.FanoutCone(site)
+	m.siteTaps = m.siteTaps[:0]
+	if m.tapGate[site] {
 		m.siteTaps = append(m.siteTaps, site)
 	}
 	for _, id := range m.siteCone {
-		if an.tapGate[id] {
+		if m.tapGate[id] {
 			m.siteTaps = append(m.siteTaps, id)
 		}
 	}
-	return m
 }
 
 // computeCosts derives SCOAP-like controllability costs and the fanout
@@ -215,7 +260,7 @@ func (m *analysis) computeCosts() {
 	n := len(m.c.Gates)
 	m.cc0 = make([]int, n)
 	m.cc1 = make([]int, n)
-	for _, id := range m.c.Sources() {
+	for _, id := range m.srcs {
 		m.cc0[id], m.cc1[id] = 1, 1
 	}
 	for _, id := range m.c.Topo() {
@@ -308,14 +353,17 @@ func (m *machine) siteNet() int {
 }
 
 // evalAt recomputes good and bad for one combinational gate from its
-// current fanin values, honouring the fault forcing.
-func (m *machine) evalAt(id int, gin, bin []value) {
+// current fanin values, honouring the fault forcing. It uses the
+// machine's gin/bin scratch (kept across calls so wide gates grow the
+// buffers once instead of reallocating per evaluation).
+func (m *machine) evalAt(id int) {
 	g := &m.c.Gates[id]
-	gin, bin = gin[:0], bin[:0]
+	gin, bin := m.gin[:0], m.bin[:0]
 	for _, f := range g.Fanin {
 		gin = append(gin, m.good[f])
 		bin = append(bin, m.bad[f])
 	}
+	m.gin, m.bin = gin, bin
 	m.good[id] = eval3(g.Kind, gin)
 	if id == m.flt.Gate {
 		if m.flt.Pin < 0 {
@@ -329,14 +377,12 @@ func (m *machine) evalAt(id int, gin, bin []value) {
 
 // imply evaluates both machines from the current source assignment.
 func (m *machine) imply() {
-	for i, id := range m.c.Sources() {
+	for i, id := range m.srcs {
 		m.good[id] = m.assign[i]
 		m.bad[id] = m.assign[i]
 	}
-	gin := make([]value, 0, 8)
-	bin := make([]value, 0, 8)
 	for _, id := range m.c.Topo() {
-		m.evalAt(id, gin, bin)
+		m.evalAt(id)
 	}
 }
 
@@ -347,7 +393,7 @@ func (m *machine) imply() {
 // moved, so implication cost tracks the actually affected region rather than the
 // structural cone.
 func (m *machine) implySrc(srcIdx int) {
-	srcGate := m.c.Sources()[srcIdx]
+	srcGate := m.srcs[srcIdx]
 	nv := m.assign[srcIdx]
 	if m.good[srcGate] == nv && m.bad[srcGate] == nv {
 		return
@@ -356,8 +402,6 @@ func (m *machine) implySrc(srcIdx int) {
 	m.good[srcGate] = nv
 	m.bad[srcGate] = nv
 	m.dirtyVer[srcGate] = m.curVer
-	gin := make([]value, 0, 8)
-	bin := make([]value, 0, 8)
 	for _, id := range m.c.FanoutCone(srcGate) {
 		touched := false
 		for _, f := range m.c.Gates[id].Fanin {
@@ -370,7 +414,7 @@ func (m *machine) implySrc(srcIdx int) {
 			continue
 		}
 		og, ob := m.good[id], m.bad[id]
-		m.evalAt(id, gin, bin)
+		m.evalAt(id)
 		if m.good[id] != og || m.bad[id] != ob {
 			m.dirtyVer[id] = m.curVer
 		}
@@ -413,7 +457,7 @@ func (m *machine) activationConflict() bool {
 // in both machines. The result is sorted by distance to the nearest
 // observation point, closest first.
 func (m *machine) dFrontier() []int {
-	var out []int
+	out := m.frontier[:0]
 	for _, id := range m.siteCone {
 		g := &m.c.Gates[id]
 		if m.good[id] != vX && m.bad[id] != vX {
@@ -432,29 +476,40 @@ func (m *machine) dFrontier() []int {
 			}
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		di, dj := m.obsDepth[out[i]], m.obsDepth[out[j]]
-		if di < 0 {
-			di = 1 << 30
+	// Stable insertion sort by observation depth: frontiers are small and
+	// this runs once per decision, where sort.SliceStable's reflection
+	// closure allocated on every call.
+	depth := func(id int) int {
+		if d := m.obsDepth[id]; d >= 0 {
+			return d
 		}
-		if dj < 0 {
-			dj = 1 << 30
+		return 1 << 30
+	}
+	for i := 1; i < len(out); i++ {
+		v, dv := out[i], depth(out[i])
+		j := i
+		for ; j > 0 && depth(out[j-1]) > dv; j-- {
+			out[j] = out[j-1]
 		}
-		return di < dj
-	})
+		out[j] = v
+	}
+	m.frontier = out
 	return out
 }
 
 // xPathExists reports whether some frontier gate still has a path of
 // not-fully-defined gates to an observation point — the PODEM X-path
-// check that prunes dead search branches early.
+// check that prunes dead search branches early. The visited set is the
+// machine's versioned seenVer array (O(1) clear per call).
 func (m *machine) xPathExists(frontier []int) bool {
 	allowed := func(id int) bool { return m.good[id] == vX || m.bad[id] == vX }
-	seen := map[int]bool{}
-	var stack []int
+	m.seenCur++
+	seen, cur := m.seenVer, m.seenCur
+	stack := m.xstack[:0]
+	defer func() { m.xstack = stack[:0] }()
 	for _, gd := range frontier {
-		if !seen[gd] && allowed(gd) {
-			seen[gd] = true
+		if seen[gd] != cur && allowed(gd) {
+			seen[gd] = cur
 			stack = append(stack, gd)
 		}
 	}
@@ -469,8 +524,8 @@ func (m *machine) xPathExists(frontier []int) bool {
 				// The D pin itself is the observation point.
 				return true
 			}
-			if !seen[fo] && allowed(fo) {
-				seen[fo] = true
+			if seen[fo] != cur && allowed(fo) {
+				seen[fo] = cur
 				stack = append(stack, fo)
 			}
 		}

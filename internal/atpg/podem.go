@@ -1,8 +1,6 @@
 package atpg
 
 import (
-	"math/rand"
-
 	"fastmon/internal/circuit"
 	"fastmon/internal/fault"
 )
@@ -93,7 +91,8 @@ func (m *machine) backtrace(net int, val value) (srcIdx int, v value, ok bool) {
 // run executes the PODEM decision loop. On success the source assignment
 // (with X for don't-cares) is left in m.assign.
 func (m *machine) run(maxBacktracks int) podemResult {
-	var stack []decision
+	stack := m.stack[:0]
+	defer func() { m.stack = stack[:0] }()
 	m.backtracks = 0
 	m.imply() // initial all-X evaluation; decisions update incrementally
 	for {
@@ -150,39 +149,48 @@ func (m *machine) run(maxBacktracks int) podemResult {
 // justify searches for a source assignment that sets the given net to the
 // target value (used to build the initialization vector V1). It runs the
 // same decision engine with a trivial fault so that the good machine is
-// authoritative.
+// authoritative. The returned assignment is a copy that survives the
+// machine's return to the pool.
 func justify(c *circuit.Circuit, net int, target value, maxBacktracks int) ([]value, podemResult) {
-	assign, _, res := justifyWith(newAnalysis(c), net, target, maxBacktracks)
+	an := newAnalysis(c)
+	m := newMachineWith(an, fault.Fault{Gate: net, Pin: -1}, target.not())
+	_, res := m.justify(net, target, maxBacktracks)
+	var assign []value
+	if res == testFound {
+		assign = append([]value(nil), m.assign...)
+	}
+	an.release(m)
 	return assign, res
 }
 
-// justifyWith is justify reusing a shared circuit analysis. It also
-// reports the number of backtracks spent, for the ATPG effort metrics.
-func justifyWith(an *analysis, net int, target value, maxBacktracks int) ([]value, int, podemResult) {
-	// A justification is a PODEM run whose success condition is simply
-	// "net == target": emulate with a dedicated loop.
-	m := newMachineWith(an, fault.Fault{Gate: net, Pin: -1}, target.not())
-	var stack []decision
+// justify runs the justification decision loop on this machine: it
+// searches for a source assignment with m.good[net] == target, reporting
+// the number of backtracks spent (the ATPG effort metric). On success the
+// assignment is left in m.assign; copy it out before releasing the
+// machine. The machine must have been acquired with the trivial fault
+// {Gate: net, Pin: -1} and stuck = target.not() so the good machine is
+// authoritative.
+func (m *machine) justify(net int, target value, maxBacktracks int) (int, podemResult) {
+	stack := m.stack[:0]
+	defer func() { m.stack = stack[:0] }()
 	backtracks := 0
 	m.imply()
 	for {
 		if m.good[net] == target {
-			return m.assign, backtracks, testFound
+			return backtracks, testFound
 		}
-		fail := m.good[net] != vX // defined but wrong
-		if !fail {
+		if m.good[net] == vX {
 			if src, v, ok := m.backtrace(net, target); ok {
 				stack = append(stack, decision{src: src, val: v})
 				m.assign[src] = v
 				m.implySrc(src)
 				continue
 			}
-			fail = true
 		}
-		_ = fail
+		// Defined-but-wrong value or no X path: backtrack.
 		for {
 			if len(stack) == 0 {
-				return nil, backtracks, untestable
+				return backtracks, untestable
 			}
 			top := &stack[len(stack)-1]
 			if !top.flipped {
@@ -192,7 +200,7 @@ func justifyWith(an *analysis, net int, target value, maxBacktracks int) ([]valu
 				m.implySrc(top.src)
 				backtracks++
 				if backtracks > maxBacktracks {
-					return nil, backtracks, aborted
+					return backtracks, aborted
 				}
 				break
 			}
@@ -203,8 +211,80 @@ func justifyWith(an *analysis, net int, target value, maxBacktracks int) ([]valu
 	}
 }
 
-// fill replaces X entries of an assignment with random values.
-func fill(assign []value, rng *rand.Rand) []bool {
+// justifyWith is the shared-analysis justification entry used by tests:
+// it reports the assignment (copied out of the pooled machine), the
+// backtracks spent, and the result.
+func justifyWith(an *analysis, net int, target value, maxBacktracks int) ([]value, int, podemResult) {
+	m := newMachineWith(an, fault.Fault{Gate: net, Pin: -1}, target.not())
+	bt, res := m.justify(net, target, maxBacktracks)
+	var assign []value
+	if res == testFound {
+		assign = append([]value(nil), m.assign...)
+	}
+	an.release(m)
+	return assign, bt, res
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective avalanche
+// mixer whose outputs over any input sequence are statistically
+// independent. It keys the per-fault don't-care fill streams (and matches
+// the construction internal/chaos uses for schedule-independent fault
+// decisions).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fillRNG is a SplitMix64 bit stream for don't-care fill. Each fault gets
+// its own stream keyed on (seed, fault index), so the fill bits of a
+// pattern depend only on which fault produced it — never on how many
+// faults were skipped before it or on the worker interleaving of the
+// speculative phase. This is what keeps the parallel deterministic phase
+// byte-identical to the serial one at any worker count.
+type fillRNG struct {
+	s    uint64
+	bits uint64
+	n    int
+}
+
+// fillSeed derives the per-fault fill stream key.
+func fillSeed(seed int64, fi int) uint64 {
+	return splitmix64(uint64(seed) ^ splitmix64(uint64(fi)+0x1715_51aa_bb5e_f33d))
+}
+
+// newFillRNG returns the fill stream of fault index fi under the config
+// seed.
+func newFillRNG(seed int64, fi int) fillRNG {
+	return fillRNG{s: fillSeed(seed, fi)}
+}
+
+// bit draws the next fill bit.
+func (r *fillRNG) bit() bool {
+	if r.n == 0 {
+		r.s += 0x9e3779b97f4a7c15
+		x := r.s
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		r.bits = x
+		r.n = 64
+	}
+	b := r.bits&1 == 1
+	r.bits >>= 1
+	r.n--
+	return b
+}
+
+// fill converts an assignment to concrete input values, replacing X
+// entries with bits drawn from the per-fault fill stream.
+func fill(assign []value, rng *fillRNG) []bool {
 	out := make([]bool, len(assign))
 	for i, v := range assign {
 		switch v {
@@ -213,7 +293,7 @@ func fill(assign []value, rng *rand.Rand) []bool {
 		case v0:
 			out[i] = false
 		default:
-			out[i] = rng.Intn(2) == 1
+			out[i] = rng.bit()
 		}
 	}
 	return out

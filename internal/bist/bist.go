@@ -109,8 +109,9 @@ func Run(c *circuit.Circuit, faults []fault.Fault, nPatterns, step int, seed uin
 	detected := make([]bool, len(faults))
 	nDet := 0
 	sinceCurve := 0
+	var b logic.Batch
 	for start := 0; start < nPatterns; start += 64 {
-		b := logic.NewBatch(c, patterns, start)
+		b.Load(c, patterns, start)
 		// Compact the capture responses of the block, pattern by pattern:
 		// one MISR shift per pattern, the taps bit-packed into the input
 		// word (wider designs fold over 32 bits).

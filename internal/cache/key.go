@@ -35,7 +35,11 @@ import (
 // stage algorithm, a key component, or a cached value layout changes so that
 // stale entries from older binaries become unreachable (version skew reads
 // as a miss, not a decode of wrong data).
-const SchemaVersion = 1
+//
+// Epoch 2: ATPG don't-care fill re-keyed per fault (splitmix64 on
+// (Seed, fault index)) for the speculative parallel deterministic phase —
+// pattern sets changed once for every seed.
+const SchemaVersion = 2
 
 // Key addresses one cached stage result. The zero Key is invalid.
 type Key struct {

@@ -69,9 +69,10 @@ type Config struct {
 	GlitchScale float64
 	// ATPGSeed drives test generation.
 	ATPGSeed int64
-	// Workers bounds the goroutine pools of every parallel stage — fault
-	// simulation, the Step-2 schedule fan-out and the branch-and-bound
-	// solvers (0 = GOMAXPROCS; see ClampWorkers).
+	// Workers bounds the goroutine pools of every parallel stage — the
+	// speculative ATPG phase, fault simulation, the Step-2 schedule
+	// fan-out and the branch-and-bound solvers (0 = GOMAXPROCS; see
+	// ClampWorkers).
 	Workers int
 	// SlowSim routes fault simulation through the naive full-resimulation
 	// reference engine instead of the event-driven fast path (differential
@@ -195,7 +196,9 @@ func Run(ctx context.Context, c *circuit.Circuit, lib *cell.Library, annot *cell
 
 	// ATPG substrate: compacted transition-fault patterns for the full
 	// (sampled) universe, standing in for the commercial test sets.
-	pats, st, err := atpg.Generate(ctx, c, f.Universe, atpg.DefaultConfig(cfg.ATPGSeed))
+	acfg := atpg.DefaultConfig(cfg.ATPGSeed)
+	acfg.Workers = cfg.Workers
+	pats, st, err := atpg.Generate(ctx, c, f.Universe, acfg)
 	if err != nil {
 		return nil, err
 	}

@@ -55,9 +55,10 @@ type Config struct {
 	// shorter than this are discarded pessimistically, and glitch-sized
 	// gaps between intervals are NOT merged (kept disjoint, per Fig. 1).
 	Glitch tunit.Time
-	// Workers bounds the simulation goroutines. The value is clamped to
-	// [1, GOMAXPROCS]: zero and negative values use every CPU, requests
-	// beyond the CPU count are cut down instead of oversubscribing.
+	// Workers bounds the simulation goroutines, resolved by
+	// par.ClampWorkersFor: zero and negative values use every CPU,
+	// requests beyond GOMAXPROCS or the fault count are cut down instead
+	// of oversubscribing.
 	Workers int
 	// SlowSim is the escape hatch that routes every (fault, pattern) pair
 	// through the naive full-resimulation engine (sim.FaultSimNaive)
@@ -326,7 +327,7 @@ func cacheKey(e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
 func run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, faults []fault.Fault,
 	patterns []sim.Pattern, cfg Config) ([]FaultData, error) {
 
-	workers := par.ClampWorkers(cfg.Workers)
+	workers := par.ClampWorkersFor(cfg.Workers, len(faults))
 	horizon := cfg.Clk + 1
 
 	// Telemetry: per-run atomics (rolled into the shared registry at the

@@ -1,0 +1,58 @@
+package exper
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"fastmon/internal/atpg"
+	"fastmon/internal/fault"
+)
+
+// TestATPGParallelMatchesSerial replays the speculative deterministic
+// ATPG phase across the whole paper suite (at differential scale) and
+// asserts the §10 determinism contract at the suite level: patterns and
+// Stats byte-identical for Workers ∈ {1, 2, 8}.
+func TestATPGParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential replay")
+	}
+	withProcs(t, 8)
+	cfg := tinySuiteCfg()
+	specs, err := cfg.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, spec := range specs {
+		c, err := spec.Build(cfg.Scale)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		faults := fault.Universe(c)
+		if len(faults) > cfg.MaxFaults {
+			faults = faults[:cfg.MaxFaults]
+		}
+		acfg := atpg.DefaultConfig(1)
+		acfg.Workers = 1
+		base, baseStats, err := atpg.Generate(ctx, c, faults, acfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", spec.Name, err)
+		}
+		for _, w := range []int{2, 8} {
+			acfg.Workers = w
+			got, gotStats, err := atpg.Generate(ctx, c, faults, acfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", spec.Name, w, err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("%s workers=%d: pattern set diverged (%d vs %d patterns)",
+					spec.Name, w, len(base), len(got))
+			}
+			if baseStats != gotStats {
+				t.Errorf("%s workers=%d: stats diverged:\nserial   %+v\nparallel %+v",
+					spec.Name, w, baseStats, gotStats)
+			}
+		}
+	}
+}

@@ -15,8 +15,21 @@ import (
 // (circuit source order) across the 64 vectors. The returned slice is
 // indexed by gate ID.
 func EvalVectors(c *circuit.Circuit, src []uint64) []uint64 {
-	val := make([]uint64, len(c.Gates))
-	for i, id := range c.Sources() {
+	return evalVectorsInto(nil, c, c.Sources(), src)
+}
+
+// evalVectorsInto is EvalVectors with a caller-provided destination buffer
+// (grown as needed) and pre-fetched source list, so Batch reuse avoids
+// reallocating the per-gate planes on every 64-pattern chunk.
+func evalVectorsInto(val []uint64, c *circuit.Circuit, srcs []int, src []uint64) []uint64 {
+	if cap(val) < len(c.Gates) {
+		val = make([]uint64, len(c.Gates))
+	}
+	val = val[:len(c.Gates)]
+	for i := range val {
+		val[i] = 0
+	}
+	for i, id := range srcs {
 		val[id] = src[i]
 	}
 	for _, id := range c.Topo() {
@@ -63,23 +76,27 @@ func evalWord(kind circuit.Kind, fanin []int, val []uint64) uint64 {
 	panic("logic: evalWord on " + kind.String())
 }
 
-// evalWordForced evaluates a gate with one input pin overridden.
-func evalWordForced(kind circuit.Kind, fanin []int, val []uint64, pin int, forced uint64) uint64 {
-	vals := make([]uint64, len(fanin))
-	for p, f := range fanin {
-		vals[p] = val[f]
-	}
-	vals[pin] = forced
-	return evalLocal(kind, vals)
-}
-
 // Pack converts up to 64 pattern pairs (starting at index start) into
 // bit-planes: src1[i]/src2[i] carry the V1/V2 values of source i across
 // the packed patterns. It returns the number of patterns packed.
 func Pack(patterns []sim.Pattern, start int, nsrc int) (src1, src2 []uint64, n int) {
-	src1 = make([]uint64, nsrc)
-	src2 = make([]uint64, nsrc)
-	for n = 0; n < 64 && start+n < len(patterns); n++ {
+	return packInto(nil, nil, patterns, start, nsrc)
+}
+
+// packInto is Pack with caller-provided plane buffers (grown as needed).
+func packInto(src1, src2 []uint64, patterns []sim.Pattern, start, nsrc int) ([]uint64, []uint64, int) {
+	if cap(src1) < nsrc {
+		src1 = make([]uint64, nsrc)
+	}
+	if cap(src2) < nsrc {
+		src2 = make([]uint64, nsrc)
+	}
+	src1, src2 = src1[:nsrc], src2[:nsrc]
+	for i := 0; i < nsrc; i++ {
+		src1[i], src2[i] = 0, 0
+	}
+	n := 0
+	for ; n < 64 && start+n < len(patterns); n++ {
 		p := patterns[start+n]
 		for i := 0; i < nsrc; i++ {
 			if p.V1[i] {
@@ -95,23 +112,54 @@ func Pack(patterns []sim.Pattern, start int, nsrc int) (src1, src2 []uint64, n i
 
 // Batch holds the good values of one packed pattern block for both the
 // initialization vector (V1) and the launch/capture vector (V2).
+//
+// A Batch may be reused across blocks via Load, which recycles every
+// internal buffer. The DetectTransition scratch makes a Batch unsafe for
+// concurrent use; all callers (the ATPG committer, compaction, BIST and
+// coverage verification) probe faults serially.
 type Batch struct {
 	C      *circuit.Circuit
 	N      int // number of valid patterns (low bits)
 	V1, V2 []uint64
 	taps   []circuit.Tap
+	srcs   []int
+
+	// Pack scratch, reused across Load calls.
+	src1, src2 []uint64
+
+	// DetectTransition scratch: the faulty-value overlay as a versioned
+	// array (fver[id] == ver marks fval[id] live) instead of a per-call
+	// map, and a reusable fanin-value buffer. Overlay clearing is O(1) —
+	// bump ver.
+	fval []uint64
+	fver []int64
+	ver  int64
+	vals []uint64
 }
 
 // NewBatch evaluates a packed block of pattern pairs.
 func NewBatch(c *circuit.Circuit, patterns []sim.Pattern, start int) *Batch {
-	src1, src2, n := Pack(patterns, start, len(c.Sources()))
-	return &Batch{
-		C:    c,
-		N:    n,
-		V1:   EvalVectors(c, src1),
-		V2:   EvalVectors(c, src2),
-		taps: c.Taps(),
+	return new(Batch).Load(c, patterns, start)
+}
+
+// Load (re)targets the batch at a packed block of pattern pairs, reusing
+// all internal buffers from previous loads. It returns the batch for
+// chaining.
+func (b *Batch) Load(c *circuit.Circuit, patterns []sim.Pattern, start int) *Batch {
+	if b.C != c {
+		b.taps = c.Taps()
+		b.srcs = c.Sources()
+		// Overlay versions are per-circuit (indexed by gate ID): reset them
+		// when the circuit changes size or identity.
+		b.fval = make([]uint64, len(c.Gates))
+		b.fver = make([]int64, len(c.Gates))
+		b.ver = 0
+		b.C = c
 	}
+	b.src1, b.src2, b.N = packInto(b.src1, b.src2, patterns, start, len(b.srcs))
+	b.V1 = evalVectorsInto(b.V1, c, b.srcs, b.src1)
+	b.V2 = evalVectorsInto(b.V2, c, b.srcs, b.src2)
+	return b
 }
 
 // mask returns the valid-pattern mask of the batch.
@@ -137,6 +185,8 @@ func (b *Batch) siteValues(f fault.Fault) (v1, v2 uint64) {
 // the site must launch the faulty transition (V1→V2 matching the fault
 // polarity) and the gross-delay effect (site stuck at its V1 value during
 // capture) must propagate to an observation point.
+//
+// Not safe for concurrent calls on one Batch (shared overlay scratch).
 func (b *Batch) DetectTransition(f fault.Fault) uint64 {
 	sv1, sv2 := b.siteValues(f)
 	var active uint64
@@ -151,25 +201,28 @@ func (b *Batch) DetectTransition(f fault.Fault) uint64 {
 	}
 
 	// Faulty V2 values: site stuck at its V1 value. Propagate through the
-	// fanout cone only.
-	faulty := map[int]uint64{}
+	// fanout cone only, tracking diverged gates in the versioned overlay.
+	b.ver++
+	ver := b.ver
 	g := &b.C.Gates[f.Gate]
 	var fg uint64
 	if f.Pin < 0 {
 		fg = sv1 // output forced to the initialization value
 	} else {
-		fg = evalWordForced(g.Kind, g.Fanin, b.V2, f.Pin, sv1)
+		vals := b.faninVals(g.Fanin)
+		vals[f.Pin] = sv1
+		fg = evalLocal(g.Kind, vals)
 	}
 	if fg == b.V2[f.Gate] {
 		return 0
 	}
-	faulty[f.Gate] = fg
+	b.fval[f.Gate], b.fver[f.Gate] = fg, ver
 
 	for _, id := range b.C.FanoutCone(f.Gate) {
 		cg := &b.C.Gates[id]
 		touched := false
 		for _, fi := range cg.Fanin {
-			if _, ok := faulty[fi]; ok {
+			if b.fver[fi] == ver {
 				touched = true
 				break
 			}
@@ -177,27 +230,38 @@ func (b *Batch) DetectTransition(f fault.Fault) uint64 {
 		if !touched {
 			continue
 		}
-		vals := make([]uint64, len(cg.Fanin))
+		vals := b.faninVals(cg.Fanin)
 		for p, fi := range cg.Fanin {
-			if v, ok := faulty[fi]; ok {
-				vals[p] = v
-			} else {
-				vals[p] = b.V2[fi]
+			if b.fver[fi] == ver {
+				vals[p] = b.fval[fi]
 			}
 		}
 		nv := evalLocal(cg.Kind, vals)
 		if nv != b.V2[id] {
-			faulty[id] = nv
+			b.fval[id], b.fver[id] = nv, ver
 		}
 	}
 
 	var det uint64
 	for _, tap := range b.taps {
-		if fv, ok := faulty[tap.Gate]; ok {
-			det |= fv ^ b.V2[tap.Gate]
+		if b.fver[tap.Gate] == ver {
+			det |= b.fval[tap.Gate] ^ b.V2[tap.Gate]
 		}
 	}
 	return det & active
+}
+
+// faninVals fills the batch's reusable fanin-value buffer with the good V2
+// values of the given fanin list.
+func (b *Batch) faninVals(fanin []int) []uint64 {
+	if cap(b.vals) < len(fanin) {
+		b.vals = make([]uint64, len(fanin))
+	}
+	b.vals = b.vals[:len(fanin)]
+	for p, fi := range fanin {
+		b.vals[p] = b.V2[fi]
+	}
+	return b.vals
 }
 
 func evalLocal(kind circuit.Kind, vals []uint64) uint64 {

@@ -123,7 +123,7 @@ func (w Waveform) FilterPulses(minPulse tunit.Time) Waveform {
 // highIntervals converts the waveform to the set of times where it is 1,
 // using ±Infinity sentinels for unbounded ends.
 func (w Waveform) highIntervals() []interval.Interval {
-	var out []interval.Interval
+	out := make([]interval.Interval, 0, len(w.T)/2+1)
 	v := w.Init
 	prev := -tunit.Infinity
 	for _, t := range w.T {
@@ -140,8 +140,9 @@ func (w Waveform) highIntervals() []interval.Interval {
 
 // fromHighIntervals rebuilds a waveform from a canonical high-interval set.
 func fromHighIntervals(s interval.Set) Waveform {
-	var w Waveform
-	for _, iv := range s.Intervals() {
+	ivs := s.Intervals()
+	w := Waveform{T: make([]tunit.Time, 0, 2*len(ivs))}
+	for _, iv := range ivs {
 		if iv.Lo == -tunit.Infinity {
 			w.Init = true
 		} else {
@@ -159,25 +160,100 @@ func fromHighIntervals(s interval.Set) Waveform {
 // delay fault of size delta at this site. Transitions that are overtaken
 // by the opposite edge disappear (a short pulse is swallowed by the
 // fault), matching the physical lumped-delay model.
+//
+// For delta > 0 (every physical fault) the shift runs in a single pass
+// directly over the toggle list — this sits on the fault-simulation hot
+// path, where the previous intervals→shift→canonicalize→intervals chain
+// allocated four slices per call.
 func (w Waveform) DelayTransitions(delta tunit.Time, rising bool) Waveform {
 	if delta == 0 || len(w.T) == 0 {
 		return w
 	}
-	his := w.highIntervals()
-	shifted := make([]interval.Interval, 0, len(his))
-	for _, iv := range his {
-		if rising {
-			if iv.Lo != -tunit.Infinity {
-				iv.Lo += delta
-			}
-		} else {
-			if iv.Hi != tunit.Infinity {
-				iv.Hi += delta
+	if delta < 0 {
+		// Left shifts can reorder intervals arbitrarily; keep the general
+		// canonicalizing path for this (test-only) case.
+		his := w.highIntervals()
+		for k := range his {
+			if rising {
+				if his[k].Lo != -tunit.Infinity {
+					his[k].Lo += delta
+				}
+			} else {
+				if his[k].Hi != tunit.Infinity {
+					his[k].Hi += delta
+				}
 			}
 		}
-		shifted = append(shifted, iv)
+		return fromHighIntervals(interval.New(his...))
 	}
-	return fromHighIntervals(interval.New(shifted...))
+	if rising {
+		// Rising edges move right: a high interval [r, f) becomes
+		// [r+delta, f) and disappears when overtaken. Gaps between highs
+		// only grow, so intervals never merge and the toggle list stays
+		// sorted.
+		out := make([]tunit.Time, 0, len(w.T))
+		i := 0
+		if w.Init {
+			// Leading high starts at -Infinity: only its falling edge is
+			// real and falling edges do not move.
+			out = append(out, w.T[0])
+			i = 1
+		}
+		for ; i < len(w.T); i += 2 {
+			r := w.T[i] + delta
+			if i+1 == len(w.T) {
+				out = append(out, r) // stays high forever after the shift
+				break
+			}
+			if f := w.T[i+1]; r < f {
+				out = append(out, r, f)
+			}
+			// else the pulse is swallowed by the delayed rise
+		}
+		return Waveform{Init: w.Init, T: out}
+	}
+	// Falling edges move right: a high interval [r, f) becomes
+	// [r, f+delta) and may swallow following pulses. Merge stretched
+	// intervals in one pass (lo <= curHi is exactly interval.New's
+	// half-open adjacency rule).
+	out := make([]tunit.Time, 0, len(w.T))
+	var curLo, curHi tunit.Time
+	have, loInf := false, false
+	i := 0
+	if w.Init {
+		curHi, have, loInf = w.T[0]+delta, true, true
+		i = 1
+	}
+	for ; i < len(w.T); i += 2 {
+		lo := w.T[i]
+		hi := tunit.Infinity
+		if i+1 < len(w.T) {
+			hi = w.T[i+1] + delta
+		}
+		if have && lo <= curHi {
+			if hi > curHi {
+				curHi = hi
+			}
+			continue
+		}
+		if have {
+			if !loInf {
+				out = append(out, curLo)
+			}
+			out = append(out, curHi) // finite: an ∞ end only ends the walk
+			loInf = false
+		}
+		curLo, curHi, have = lo, hi, true
+	}
+	if have {
+		if !loInf {
+			out = append(out, curLo)
+		}
+		if curHi != tunit.Infinity {
+			out = append(out, curHi)
+		}
+	}
+	return Waveform{Init: w.Init, T: out}
 }
 
 // Diff returns the set of times where w and o carry different values,
