@@ -199,3 +199,36 @@ func TestCompareNoOverlapIsAnError(t *testing.T) {
 		t.Fatal("disjoint benchmark sets compared clean")
 	}
 }
+
+func TestInversionWarnings(t *testing.T) {
+	warns := inversionWarnings([]Result{
+		{Name: "BenchmarkSetCover/serial", NsPerOp: 200},
+		{Name: "BenchmarkSetCover/parallel", NsPerOp: 260},
+		{Name: "BenchmarkFine/serial", NsPerOp: 500},
+		{Name: "BenchmarkFine/parallel", NsPerOp: 250},
+		{Name: "BenchmarkLonely/parallel", NsPerOp: 100},
+	})
+	if len(warns) != 1 || !strings.Contains(warns[0], "BenchmarkSetCover/parallel is 1.30x slower") {
+		t.Fatalf("warnings = %v, want one SetCover inversion", warns)
+	}
+	if inversionWarnings([]Result{
+		{Name: "BenchmarkFine/serial", NsPerOp: 500},
+		{Name: "BenchmarkFine/parallel", NsPerOp: 250},
+	}) != nil {
+		t.Fatal("healthy pairing must not warn")
+	}
+}
+
+func TestWarningsLandInReport(t *testing.T) {
+	in := strings.NewReader(
+		"pkg: example.com/x\n" +
+			"BenchmarkSlow/serial-8 10 100 ns/op\n" +
+			"BenchmarkSlow/parallel-8 10 150 ns/op\n")
+	rep, err := readReport(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Warnings) != 1 || !strings.Contains(rep.Warnings[0], "BenchmarkSlow/parallel") {
+		t.Fatalf("Warnings = %v", rep.Warnings)
+	}
+}

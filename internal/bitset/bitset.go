@@ -4,7 +4,10 @@
 // indices that routinely hold tens of thousands of members.
 package bitset
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // Set is a fixed-capacity bit set. The zero value is unusable; create
 // sets with New.
@@ -56,38 +59,93 @@ func (s *Set) Clone() *Set {
 
 // Or sets s = s ∪ o.
 func (s *Set) Or(o *Set) {
-	for i := range s.words {
-		s.words[i] |= o.words[i]
+	a, b := s.words, o.words[:len(s.words)]
+	for i := range a {
+		a[i] |= b[i]
 	}
 }
 
 // And sets s = s ∩ o.
 func (s *Set) And(o *Set) {
-	for i := range s.words {
-		s.words[i] &= o.words[i]
+	a, b := s.words, o.words[:len(s.words)]
+	for i := range a {
+		a[i] &= b[i]
 	}
 }
 
 // AndNot sets s = s \ o.
 func (s *Set) AndNot(o *Set) {
-	for i := range s.words {
-		s.words[i] &^= o.words[i]
+	a, b := s.words, o.words[:len(s.words)]
+	for i := range a {
+		a[i] &^= b[i]
 	}
 }
 
 // IntersectionCount returns |s ∩ o| without allocating.
 func (s *Set) IntersectionCount(o *Set) int {
 	c := 0
-	for i := range s.words {
-		c += bits.OnesCount64(s.words[i] & o.words[i])
+	a, b := s.words, o.words[:len(s.words)]
+	for i, w := range a {
+		c += bits.OnesCount64(w & b[i])
 	}
 	return c
 }
 
+// AndNotCount returns |s \ o| without allocating. It collapses the
+// Clone+AndNot+Count triple pass of the hot loops (branch-and-bound
+// marginal gains, schedule fault dropping) into one word-level sweep.
+func (s *Set) AndNotCount(o *Set) int {
+	c := 0
+	a, b := s.words, o.words[:len(s.words)]
+	for i, w := range a {
+		c += bits.OnesCount64(w &^ b[i])
+	}
+	return c
+}
+
+// OrCount returns |s ∪ o| without allocating.
+func (s *Set) OrCount(o *Set) int {
+	c := 0
+	a, b := s.words, o.words[:len(s.words)]
+	for i, w := range a {
+		c += bits.OnesCount64(w | b[i])
+	}
+	return c
+}
+
+// SetOr sets s = a ∪ b in one word-level pass, resizing s as needed. It
+// fuses the CopyFrom+Or pair of the branch-and-bound include step so each
+// word is written once instead of copied and then read back.
+func (s *Set) SetOr(a, b *Set) {
+	if cap(s.words) < len(a.words) {
+		s.words = make([]uint64, len(a.words))
+	}
+	s.words = s.words[:len(a.words)]
+	w, x, y := s.words, a.words, b.words[:len(a.words)]
+	for i := range w {
+		w[i] = x[i] | y[i]
+	}
+	s.n = a.n
+}
+
+// SetAndNot sets s = a \ b in one word-level pass, resizing s as needed.
+func (s *Set) SetAndNot(a, b *Set) {
+	if cap(s.words) < len(a.words) {
+		s.words = make([]uint64, len(a.words))
+	}
+	s.words = s.words[:len(a.words)]
+	w, x, y := s.words, a.words, b.words[:len(a.words)]
+	for i := range w {
+		w[i] = x[i] &^ y[i]
+	}
+	s.n = a.n
+}
+
 // SubsetOf reports whether s ⊆ o.
 func (s *Set) SubsetOf(o *Set) bool {
-	for i := range s.words {
-		if s.words[i]&^o.words[i] != 0 {
+	a, b := s.words, o.words[:len(s.words)]
+	for i, w := range a {
+		if w&^b[i] != 0 {
 			return false
 		}
 	}
@@ -155,6 +213,52 @@ func (s *Set) CopyFrom(o *Set) {
 	s.words = s.words[:len(o.words)]
 	copy(s.words, o.words)
 	s.n = o.n
+}
+
+// Pool recycles Set backing arrays across hot-path call sites so pooled
+// clones replace per-call allocation (the observation-time discretization
+// clones one fault set per elementary segment; fault dropping and the
+// greedy partial cover clone per round). The zero value is ready to use.
+// Sets returned by Get/CloneOf must go back via Put once they no longer
+// escape; sets that do escape may simply be kept — the pool never reclaims
+// them behind the caller's back.
+type Pool struct{ p sync.Pool }
+
+// Get returns a cleared set with capacity n bits, reusing a pooled
+// backing array when one is large enough.
+func (p *Pool) Get(n int) *Set {
+	s, _ := p.p.Get().(*Set)
+	if s == nil {
+		return New(n)
+	}
+	words := (n + 63) / 64
+	if cap(s.words) < words {
+		s.words = make([]uint64, words)
+	} else {
+		s.words = s.words[:words]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+	return s
+}
+
+// CloneOf returns a pooled deep copy of o.
+func (p *Pool) CloneOf(o *Set) *Set {
+	s, _ := p.p.Get().(*Set)
+	if s == nil {
+		return o.Clone()
+	}
+	s.CopyFrom(o)
+	return s
+}
+
+// Put returns a set to the pool. The set must not be used afterwards.
+func (p *Pool) Put(s *Set) {
+	if s != nil {
+		p.p.Put(s)
+	}
 }
 
 // Fingerprint folds the set into a 64-bit signature with the filter

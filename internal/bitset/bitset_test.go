@@ -216,3 +216,71 @@ func TestFingerprintSubsetFilter(t *testing.T) {
 		t.Fatal("disjoint singleton sets share a fingerprint")
 	}
 }
+
+func TestCountingOpsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		diff := a.Clone()
+		diff.AndNot(b)
+		if got := a.AndNotCount(b); got != diff.Count() {
+			t.Fatalf("AndNotCount = %d, want %d", got, diff.Count())
+		}
+		uni := a.Clone()
+		uni.Or(b)
+		if got := a.OrCount(b); got != uni.Count() {
+			t.Fatalf("OrCount = %d, want %d", got, uni.Count())
+		}
+		var fused Set
+		fused.SetOr(a, b)
+		if !fused.Equal(uni) {
+			t.Fatalf("SetOr mismatch")
+		}
+		fused.SetAndNot(a, b)
+		if !fused.Equal(diff) {
+			t.Fatalf("SetAndNot mismatch")
+		}
+		// Fused ops must also overwrite stale contents when reused.
+		fused.SetOr(b, a)
+		if !fused.Equal(uni) {
+			t.Fatalf("SetOr reuse mismatch")
+		}
+	}
+}
+
+func TestPool(t *testing.T) {
+	var p Pool
+	s := p.Get(100)
+	if s.Len() != 100 || !s.Empty() {
+		t.Fatalf("Get: len=%d empty=%v", s.Len(), s.Empty())
+	}
+	s.Add(7)
+	p.Put(s)
+	// A recycled set must come back cleared even at a different size.
+	r := p.Get(64)
+	if r.Len() != 64 || !r.Empty() {
+		t.Fatalf("recycled Get: len=%d empty=%v", r.Len(), r.Empty())
+	}
+	src := New(200)
+	src.Add(3)
+	src.Add(199)
+	c := p.CloneOf(src)
+	if !c.Equal(src) {
+		t.Fatalf("CloneOf = %v bits, want equal", c.Count())
+	}
+	c.Add(100)
+	if src.Has(100) {
+		t.Fatal("CloneOf aliases source")
+	}
+	p.Put(c)
+	p.Put(nil) // must not panic
+}

@@ -98,21 +98,21 @@ type FaultData struct {
 
 // FFUnion returns the union of the flip-flop ranges over all patterns.
 func (fd *FaultData) FFUnion() interval.Set {
-	var u interval.Set
+	var a interval.Accum
 	for _, pr := range fd.Per {
-		u = u.Union(pr.FF)
+		a.Add(pr.FF)
 	}
-	return u
+	return a.Result()
 }
 
 // SRUnion returns the union of the unshifted shadow-register ranges over
 // all patterns.
 func (fd *FaultData) SRUnion() interval.Set {
-	var u interval.Set
+	var a interval.Accum
 	for _, pr := range fd.Per {
-		u = u.Union(pr.SR)
+		a.Add(pr.SR)
 	}
-	return u
+	return a.Result()
 }
 
 // Combined returns the full detection range
@@ -156,6 +156,35 @@ func (pr PatternRange) CombinedFree(cfg Config, delays []tunit.Time) interval.Se
 		u = u.Union(pr.SR.Shift(d).Clip(lo, hi))
 	}
 	return u
+}
+
+// CombinedAtInto computes CombinedAt into acc without allocating: acc is
+// reset first and scratch is a caller-owned reusable buffer. The result
+// (acc.Result) aliases the accumulator; freeze it with acc.Copy before it
+// escapes. The schedule range memo evaluates this once per (fault,
+// pattern, config), so the in-place kernel matters there.
+func (pr PatternRange) CombinedAtInto(cfg Config, d tunit.Time, acc *interval.Accum, scratch *interval.Set) {
+	lo, hi := cfg.ObservationWindow()
+	acc.Reset()
+	pr.FF.ClipInto(lo, hi, scratch)
+	acc.Add(*scratch)
+	if d >= 0 {
+		pr.SR.ShiftClipInto(d, lo, hi, scratch)
+		acc.Add(*scratch)
+	}
+}
+
+// CombinedFreeInto is the in-place counterpart of CombinedFree, with the
+// same contract as CombinedAtInto.
+func (pr PatternRange) CombinedFreeInto(cfg Config, delays []tunit.Time, acc *interval.Accum, scratch *interval.Set) {
+	lo, hi := cfg.ObservationWindow()
+	acc.Reset()
+	pr.FF.ClipInto(lo, hi, scratch)
+	acc.Add(*scratch)
+	for _, d := range delays {
+		pr.SR.ShiftClipInto(d, lo, hi, scratch)
+		acc.Add(*scratch)
+	}
 }
 
 // testHookPanic, when non-nil, is called before every (fault, pattern)
@@ -502,6 +531,10 @@ func run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 					}
 				}()
 				sc := e.NewScratch()
+				// ffAcc/srAcc accumulate the per-pattern range unions into
+				// reused buffers; the per-detection Union used to allocate a
+				// fresh merge per tap.
+				var ffAcc, srAcc interval.Accum
 				var st sim.Stats
 				sims, hits, skipped := 0, 0, 0
 				defer func() {
@@ -552,21 +585,22 @@ func run(ctx context.Context, e *sim.Engine, placement *monitor.Placement, fault
 							if len(dets) == 0 {
 								continue
 							}
-							var ff, sr interval.Set
+							ffAcc.Reset()
+							srAcc.Reset()
 							for _, d := range dets {
 								diff := d.Diff.FilterShort(cfg.Glitch)
 								if diff.Empty() {
 									continue
 								}
-								ff = ff.Union(diff)
+								ffAcc.Add(diff)
 								if placement != nil && placement.Covers(d.Tap) {
-									sr = sr.Union(diff)
+									srAcc.Add(diff)
 								}
 							}
-							if ff.Empty() && sr.Empty() {
+							if ffAcc.Empty() && srAcc.Empty() {
 								continue
 							}
-							perFault[fi] = append(perFault[fi], PatternRange{Pattern: pi, FF: ff, SR: sr})
+							perFault[fi] = append(perFault[fi], PatternRange{Pattern: pi, FF: ffAcc.Copy(), SR: srAcc.Copy()})
 							hits++
 						}
 					}

@@ -25,6 +25,12 @@ type Candidate struct {
 	Faults *bitset.Set
 }
 
+// segPool recycles the per-segment fault-set snapshots: Discretize clones
+// the active set once per elementary segment, and prune hands the dropped
+// (dominated) snapshots back. Surviving candidates keep their sets — the
+// pool never reclaims escaped sets behind the caller's back.
+var segPool bitset.Pool
+
 // Discretize computes the candidate clock periods for the given per-fault
 // detection ranges (indexed by fault). Empty ranges contribute nothing.
 // Candidates with identical fault sets are merged and candidates whose
@@ -36,15 +42,19 @@ func Discretize(ranges []interval.Set) []Candidate {
 		fault int
 		open  bool
 	}
-	var events []event
+	n := 0
+	for _, r := range ranges {
+		n += 2 * r.Count()
+	}
+	if n == 0 {
+		return nil
+	}
+	events := make([]event, 0, n)
 	for fi, r := range ranges {
 		for _, iv := range r.Intervals() {
 			events = append(events, event{t: iv.Lo, fault: fi, open: true})
 			events = append(events, event{t: iv.Hi, fault: fi, open: false})
 		}
-	}
-	if len(events) == 0 {
-		return nil
 	}
 	sort.Slice(events, func(i, j int) bool {
 		if events[i].t != events[j].t {
@@ -76,7 +86,7 @@ func Discretize(ranges []interval.Set) []Candidate {
 			continue
 		}
 		seg := interval.Interval{Lo: t, Hi: next}
-		cands = append(cands, Candidate{T: seg.Mid(), Seg: seg, Faults: active.Clone()})
+		cands = append(cands, Candidate{T: seg.Mid(), Seg: seg, Faults: segPool.CloneOf(active)})
 	}
 
 	return prune(cands)
@@ -86,22 +96,39 @@ func Discretize(ranges []interval.Set) []Candidate {
 // removes candidates dominated by another candidate's superset.
 func prune(cands []Candidate) []Candidate {
 	// Sort by descending fault count so that any dominator precedes the
-	// dominated candidate.
-	sort.SliceStable(cands, func(i, j int) bool {
-		return cands[i].Faults.Count() > cands[j].Faults.Count()
-	})
-	var out []Candidate
-	for _, c := range cands {
+	// dominated candidate. Counts and 64-bit signatures are computed once
+	// up front: the comparator used to recount per comparison, and the
+	// signature screen (c ⊆ k requires fp(c) &^ fp(k) == 0) skips most
+	// word-level subset tests.
+	type pc struct {
+		c   Candidate
+		cnt int
+		fp  uint64
+	}
+	ps := make([]pc, len(cands))
+	for i, c := range cands {
+		ps[i] = pc{c: c, cnt: c.Faults.Count(), fp: c.Faults.Fingerprint()}
+	}
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].cnt > ps[j].cnt })
+	out := make([]Candidate, 0, len(ps))
+	fps := make([]uint64, 0, len(ps))
+	for _, p := range ps {
 		dominated := false
-		for _, kept := range out {
-			if c.Faults.SubsetOf(kept.Faults) {
+		for ki := range out {
+			if p.fp&^fps[ki] != 0 {
+				continue // signature rules out p ⊆ kept
+			}
+			if p.c.Faults.SubsetOf(out[ki].Faults) {
 				dominated = true
 				break
 			}
 		}
-		if !dominated {
-			out = append(out, c)
+		if dominated {
+			segPool.Put(p.c.Faults)
+			continue
 		}
+		out = append(out, p.c)
+		fps = append(fps, p.fp)
 	}
 	// Restore time order for deterministic downstream processing.
 	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })

@@ -252,9 +252,11 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 		s.And(uncovered)
 		sub[i] = s
 	}
-	// Element -> covering set indices (into sub), used for branching.
+	// Element -> covering set indices (into sub) as a dense table indexed
+	// by element id: the branching loop reads it once per candidate per
+	// node, where the former map cost a hash lookup each time.
 	elems := uncovered.Members(nil)
-	coverOf := map[int][]int{}
+	coverOf := make([][]int, universe.Len())
 	for i, s := range sub {
 		for _, e := range s.Members(nil) {
 			coverOf[e] = append(coverOf[e], i)
@@ -276,6 +278,9 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 	workers := par.ClampWorkers(opts.Workers)
 	best := newBestList(incumbent, 0)
 	frec := obs.From(ctx).Flight()
+	// Resolved once: the injector never changes mid-solve, and the nil
+	// injector is a valid no-op (see chaos package doc).
+	inj := chaos.From(ctx)
 	var (
 		nodes, incumbents, stolen atomic.Int64
 		stop                      stopFlag
@@ -290,27 +295,57 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 				panic(r)
 			}
 		}()
-		var dfs func(unc *bitset.Set, cur []int)
-		dfs = func(unc *bitset.Set, cur []int) {
+		// Per-depth scratch: the DFS is strictly nested, so one uncovered
+		// set and one candidate list per depth replace the per-node clones
+		// and sorts that dominated the allocation profile. Values are
+		// identical to the cloning version; only the storage is reused.
+		var uncScratch []*bitset.Set
+		uncAt := func(d int) *bitset.Set {
+			for len(uncScratch) <= d {
+				uncScratch = append(uncScratch, bitset.New(universe.Len()))
+			}
+			return uncScratch[d]
+		}
+		type candList struct{ idx, gain []int }
+		var candScratch []candList
+		localNodes := int64(0)
+		// poll is the once-per-window slow path of node accounting: see the
+		// PartialCover twin for the determinism argument. Totals stay
+		// exact: the sub-window remainder is flushed when the worker exits.
+		poll := func() bool {
+			nn := nodes.Add(pollMask + 1)
 			if stop.get() != stopNone {
-				return
+				return false
 			}
-			nn := nodes.Add(1)
-			if nn&pollMask == 0 {
-				if s := checkCtx(ctx); s != stopNone {
-					stop.set(s)
-					fr.Abort()
-					return
-				}
-				chaos.Disturb(ctx, ptNode)
+			if s := checkCtx(ctx); s != stopNone {
+				stop.set(s)
+				fr.Abort()
+				return false
 			}
+			inj.Disturb(ctx, ptNode)
 			if opts.MaxNodes > 0 && nn > int64(opts.MaxNodes) {
 				stop.set(stopBudget)
 				fr.Abort()
+				return false
+			}
+			return true
+		}
+		// dead flips when poll observes an abort; it is a plain per-worker
+		// bool so every recursion level can bail immediately without an
+		// atomic read per node.
+		dead := false
+		var dfs func(unc *bitset.Set, cur []int)
+		dfs = func(unc *bitset.Set, cur []int) {
+			if dead {
+				return
+			}
+			localNodes++
+			if localNodes&pollMask == 0 && !poll() {
+				dead = true
 				return
 			}
 			if unc.Empty() {
-				chaos.Disturb(ctx, ptIncumbent)
+				inj.Disturb(ctx, ptIncumbent)
 				if best.offer(cur, 0) {
 					frec.Record(flight.Event{Kind: flight.KindIncumbent, Name: "ilp.cover", Stage: "solve",
 						Detail: strconv.Itoa(len(cur)) + " sets", Value: incumbents.Add(1)})
@@ -339,15 +374,27 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 					}
 				}
 			}
-			cands := append([]int(nil), coverOf[pickE]...)
-			sort.Slice(cands, func(a, b int) bool {
-				ga := sub[cands[a]].IntersectionCount(unc)
-				gb := sub[cands[b]].IntersectionCount(unc)
-				if ga != gb {
-					return ga > gb
+			depth := len(cur)
+			for len(candScratch) <= depth {
+				candScratch = append(candScratch, candList{})
+			}
+			cands := append(candScratch[depth].idx[:0], coverOf[pickE]...)
+			gains := candScratch[depth].gain[:0]
+			for _, si := range cands {
+				gains = append(gains, sub[si].IntersectionCount(unc))
+			}
+			// Insertion sort by (gain descending, index ascending): the
+			// same total order the sort.Slice comparator produced.
+			for i := 1; i < len(cands); i++ {
+				ci, gi := cands[i], gains[i]
+				j := i - 1
+				for j >= 0 && (gains[j] < gi || (gains[j] == gi && cands[j] > ci)) {
+					cands[j+1], gains[j+1] = cands[j], gains[j]
+					j--
 				}
-				return cands[a] < cands[b]
-			})
+				cands[j+1], gains[j+1] = ci, gi
+			}
+			candScratch[depth] = candList{idx: cands, gain: gains}
 			if len(cands) > 1 && workers > 1 && fr.Hungry() {
 				// Offload every sibling but the first; pushed in reverse
 				// so the LIFO pool hands them out in serial order.
@@ -363,8 +410,8 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 				cands = cands[:1]
 			}
 			for _, si := range cands {
-				next := unc.Clone()
-				next.AndNot(sub[si])
+				next := uncAt(depth)
+				next.SetAndNot(unc, sub[si])
 				cur = append(cur, si)
 				dfs(next, cur)
 				cur = cur[:len(cur)-1]
@@ -373,13 +420,14 @@ func SetCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set, opt
 		for {
 			t, st, ok := fr.Pop(id)
 			if !ok {
-				return
+				break
 			}
 			if st {
 				stolen.Add(1)
 			}
 			dfs(t.unc, t.cur)
 		}
+		nodes.Add(localNodes & pollMask)
 	})
 	stopped := stop.get()
 	rootLB := len(chosen) + lowerBound(sub, uncovered)
@@ -435,19 +483,34 @@ func aliveList(alive []bool) []int {
 	return out
 }
 
+// coverPool recycles the masked-set scratch of GreedyPartialCover across
+// calls; the schedule builder runs one partial cover per period candidate.
+var coverPool bitset.Pool
+
 // GreedyPartialCover picks sets by maximum marginal gain until at least
 // quota elements of the universe are covered. It returns an error if the
 // quota exceeds the coverable count.
 func GreedyPartialCover(sets []*bitset.Set, universe *bitset.Set, quota int) ([]int, error) {
 	covered := bitset.New(universe.Len())
+	// Mask each set to the universe once; the per-round marginal gain is
+	// then one word-level sweep instead of a Clone+And+AndNot+Count pass
+	// per set per round.
+	masked := make([]*bitset.Set, len(sets))
+	for i, s := range sets {
+		m := coverPool.CloneOf(s)
+		m.And(universe)
+		masked[i] = m
+	}
+	defer func() {
+		for _, m := range masked {
+			coverPool.Put(m)
+		}
+	}()
 	var out []int
 	for covered.IntersectionCount(universe) < quota {
 		best, bestGain := -1, 0
-		for i, s := range sets {
-			tmp := s.Clone()
-			tmp.And(universe)
-			tmp.AndNot(covered)
-			if g := tmp.Count(); g > bestGain {
+		for i, m := range masked {
+			if g := m.AndNotCount(covered); g > bestGain {
 				best, bestGain = i, g
 			}
 		}
@@ -504,12 +567,15 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 		return res, nil
 	}
 
-	// Restrict sets to the universe once.
+	// Restrict sets to the universe once; sizes are static afterwards, so
+	// they are computed once here instead of per node in the bound.
 	sub := make([]*bitset.Set, len(sets))
+	size := make([]int, len(sets))
 	for i, s := range sets {
 		c := s.Clone()
 		c.And(universe)
 		sub[i] = c
+		size[i] = c.Count()
 	}
 	// Order sets by decreasing size for the bound and the branching.
 	order := make([]int, len(sub))
@@ -517,12 +583,19 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		ca, cb := sub[order[a]].Count(), sub[order[b]].Count()
+		ca, cb := size[order[a]], size[order[b]]
 		if ca != cb {
 			return ca > cb
 		}
 		return order[a] < order[b]
 	})
+	// prefix[i] is the total size of the i largest sets: the per-node
+	// sum-of-largest-sets bound becomes a binary search over these sums
+	// instead of a popcount loop.
+	prefix := make([]int64, len(order)+1)
+	for i, oi := range order {
+		prefix[i+1] = prefix[i] + int64(size[oi])
+	}
 
 	workers := par.ClampWorkers(opts.Workers)
 	seedCov := bitset.New(universe.Len())
@@ -531,6 +604,10 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 	}
 	best := newBestList(incumbent, seedCov.Count())
 	frec := obs.From(ctx).Flight()
+	// The injector travels in the context and never changes mid-solve;
+	// resolving it once keeps the per-incumbent disturb off the
+	// context-chain walk (nil injectors are valid no-ops).
+	inj := chaos.From(ctx)
 	var (
 		nodes, incumbents, stolen atomic.Int64
 		stop                      stopFlag
@@ -544,91 +621,137 @@ func PartialCover(ctx context.Context, sets []*bitset.Set, universe *bitset.Set,
 				panic(r)
 			}
 		}()
-		var dfs func(pos int, cur []int, covered *bitset.Set, cnt int)
-		// include recurses into the "take order[pos]" child when it has a
-		// positive marginal gain. An optimal selection never contains a
-		// zero-marginal set (dropping it would shrink the solution), so
-		// the filter cannot hide an optimum from the tie-break.
-		include := func(pos int, cur []int, covered *bitset.Set, cnt int) []int {
-			si := order[pos]
-			marginal := sub[si].Count() - sub[si].IntersectionCount(covered)
-			if marginal <= 0 {
-				return cur
+		// Per-depth scratch: include children at selection depth d always
+		// finish before the parent includes again at the same depth, so one
+		// covered set per depth replaces the per-node Clone that dominated
+		// the allocation profile. Values are identical to the cloning
+		// version; only the storage is reused.
+		var covScratch []*bitset.Set
+		covAt := func(d int) *bitset.Set {
+			for len(covScratch) <= d {
+				covScratch = append(covScratch, bitset.New(universe.Len()))
 			}
-			nc := covered.Clone()
-			nc.Or(sub[si])
-			cur = append(cur, si)
-			dfs(pos+1, cur, nc, cnt+marginal)
-			return cur[:len(cur)-1]
+			return covScratch[d]
 		}
-		dfs = func(pos int, cur []int, covered *bitset.Set, cnt int) {
+		localNodes := int64(0)
+		// poll is the once-per-window slow path of node accounting: flush
+		// the local tally into the shared atomic, notice peer aborts, poll
+		// the context and the node budget. Stop reasons only arise on abort
+		// paths (cancellation, budget), so checking them per window instead
+		// of per node leaves the deterministic no-abort search untouched;
+		// node totals stay exact because the sub-window remainder is
+		// flushed when the worker exits.
+		poll := func() bool {
+			nn := nodes.Add(pollMask + 1)
 			if stop.get() != stopNone {
-				return
+				return false
 			}
-			nn := nodes.Add(1)
-			if nn&pollMask == 0 {
-				if s := checkCtx(ctx); s != stopNone {
-					stop.set(s)
-					fr.Abort()
-					return
-				}
-				chaos.Disturb(ctx, ptNode)
+			if s := checkCtx(ctx); s != stopNone {
+				stop.set(s)
+				fr.Abort()
+				return false
 			}
+			inj.Disturb(ctx, ptNode)
 			if opts.MaxNodes > 0 && nn > int64(opts.MaxNodes) {
 				stop.set(stopBudget)
 				fr.Abort()
-				return
+				return false
 			}
-			if cnt >= quota {
-				chaos.Disturb(ctx, ptIncumbent)
-				if best.offer(cur, cnt) {
-					frec.Record(flight.Event{Kind: flight.KindIncumbent, Name: "ilp.partial", Stage: "solve",
-						Detail: strconv.Itoa(len(cur)) + " sets", Value: incumbents.Add(1)})
+			return true
+		}
+		// dead flips when poll observes an abort; it is a plain per-worker
+		// bool so every recursion level can bail immediately without an
+		// atomic read per node.
+		dead := false
+		// The exclude branch is tail-recursive (same covered set, next
+		// position), so it runs as a loop; each iteration is one node. The
+		// include branch recurses when "take order[pos]" has a positive
+		// marginal gain — an optimal selection never contains a
+		// zero-marginal set (dropping it would shrink the solution), so the
+		// filter cannot hide an optimum from the tie-break.
+		var dfs func(pos int, cur []int, covered *bitset.Set, cnt int)
+		dfs = func(pos int, cur []int, covered *bitset.Set, cnt int) {
+			// m tracks the bound's prefix-sum crossing point. Along the
+			// exclude chain the deficit is constant and prefix[pos] grows,
+			// so the crossing point only moves right: advancing it linearly
+			// from the previous node costs O(1) amortized per node where a
+			// fresh search would pay O(log) every time.
+			m := pos + 1
+			for {
+				if dead {
+					return
 				}
-				return
+				localNodes++
+				if localNodes&pollMask == 0 && !poll() {
+					dead = true
+					return
+				}
+				if cnt >= quota {
+					inj.Disturb(ctx, ptIncumbent)
+					if best.offer(cur, cnt) {
+						frec.Record(flight.Event{Kind: flight.KindIncumbent, Name: "ilp.partial", Stage: "solve",
+							Detail: strconv.Itoa(len(cur)) + " sets", Value: incumbents.Add(1)})
+					}
+					return
+				}
+				bnd := best.bound()
+				if len(cur)+1 > bnd { // any completion costs ≥ len(cur)+1
+					return
+				}
+				if pos >= len(order) {
+					return
+				}
+				// Bound: adding the k largest remaining sets gains at most
+				// the sum of their sizes; m-pos is the smallest k whose size
+				// prefix reaches the deficit.
+				target := prefix[pos] + int64(quota-cnt)
+				for m < len(order) && prefix[m] < target {
+					m++
+				}
+				if prefix[m] < target {
+					return // even taking every remaining set falls short
+				}
+				if len(cur)+(m-pos) > bnd {
+					return
+				}
+				si := order[pos]
+				if workers > 1 && fr.Hungry() {
+					// Offload the exclude subtree, recurse include locally
+					// (serial order is include first).
+					fr.Push(id, partialTask{
+						pos:     pos + 1,
+						cur:     append([]int(nil), cur...),
+						covered: covered.Clone(),
+						cnt:     cnt,
+					})
+					if marginal := sub[si].AndNotCount(covered); marginal > 0 {
+						nc := covAt(len(cur))
+						nc.SetOr(covered, sub[si])
+						dfs(pos+1, append(cur, si), nc, cnt+marginal)
+					}
+					return
+				}
+				if marginal := sub[si].AndNotCount(covered); marginal > 0 {
+					nc := covAt(len(cur))
+					nc.SetOr(covered, sub[si])
+					cur = append(cur, si)
+					dfs(pos+1, cur, nc, cnt+marginal)
+					cur = cur[:len(cur)-1]
+				}
+				pos++ // exclude order[pos]: same covered set, next position
 			}
-			if len(cur)+1 > best.bound() { // any completion costs ≥ len(cur)+1
-				return
-			}
-			if pos >= len(order) {
-				return
-			}
-			// Bound: adding the k largest remaining sets gains at most the
-			// sum of their sizes.
-			deficit := quota - cnt
-			gain, need := 0, 0
-			for i := pos; i < len(order) && gain < deficit; i++ {
-				gain += sub[order[i]].Count()
-				need++
-			}
-			if gain < deficit || len(cur)+need > best.bound() {
-				return
-			}
-			if workers > 1 && fr.Hungry() {
-				// Offload the exclude subtree, recurse include locally
-				// (serial order is include first).
-				fr.Push(id, partialTask{
-					pos:     pos + 1,
-					cur:     append([]int(nil), cur...),
-					covered: covered.Clone(),
-					cnt:     cnt,
-				})
-				include(pos, cur, covered, cnt)
-				return
-			}
-			cur = include(pos, cur, covered, cnt)
-			dfs(pos+1, cur, covered, cnt)
 		}
 		for {
 			t, st, ok := fr.Pop(id)
 			if !ok {
-				return
+				break
 			}
 			if st {
 				stolen.Add(1)
 			}
 			dfs(t.pos, t.cur, t.covered, t.cnt)
 		}
+		nodes.Add(localNodes & pollMask)
 	})
 	stopped := stop.get()
 	// Root bound for the exit gap: covering the quota needs at least as

@@ -36,34 +36,45 @@ func (s *stopFlag) get() stopReason  { return stopReason(s.v.Load()) }
 // every minimum-size selection is offered eventually and the final winner
 // is the same for every worker count and interleaving.
 type bestList struct {
-	mu    sync.Mutex
-	n     atomic.Int64
-	sel   []int
-	score int
+	mu      sync.Mutex
+	ns      atomic.Int64 // packed incumbent (length<<32 | score) for lock-free reads
+	sel     []int
+	score   int
+	scratch []int // reused sort buffer; offers are serialized by mu
 }
+
+func packNS(n, score int) int64 { return int64(n)<<32 | int64(uint32(score)) }
 
 // newBestList seeds the incumbent, typically with a greedy cover, and its
 // score. The seed must be sorted ascending.
 func newBestList(seed []int, score int) *bestList {
 	b := &bestList{sel: append([]int(nil), seed...), score: score}
-	b.n.Store(int64(len(b.sel)))
+	b.ns.Store(packNS(len(b.sel), score))
 	return b
 }
 
 // bound returns the current incumbent length. A stale (larger) read only
 // weakens pruning; it never changes the final result.
-func (b *bestList) bound() int { return int(b.n.Load()) }
+func (b *bestList) bound() int { return int(b.ns.Load() >> 32) }
 
-// offer publishes a candidate selection (any order; offer sorts a copy)
-// with its score. It reports whether the candidate replaced the incumbent.
+// offer publishes a candidate selection (any order; offer sorts a reused
+// scratch copy under the mutex, so the caller's slice is never retained).
+// It reports whether the candidate replaced the incumbent.
+//
+// The pre-lock reject reads a stale-but-monotone snapshot: the incumbent
+// only ever improves (length shrinks; at equal length the score grows), so
+// a candidate that loses against an older snapshot also loses against the
+// current one and can bail without the mutex.
 func (b *bestList) offer(cand []int, score int) bool {
-	if len(cand) > b.bound() {
+	if ns := b.ns.Load(); len(cand) > int(ns>>32) ||
+		(len(cand) == int(ns>>32) && score < int(int32(uint32(ns)))) {
 		return false
 	}
-	c := append([]int(nil), cand...)
-	sort.Ints(c)
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	c := append(b.scratch[:0], cand...)
+	b.scratch = c
+	sort.Ints(c)
 	switch {
 	case len(c) < len(b.sel):
 	case len(c) > len(b.sel):
@@ -74,9 +85,9 @@ func (b *bestList) offer(cand []int, score int) bool {
 	case !lexLess(c, b.sel):
 		return false
 	}
-	b.sel = c
+	b.sel = append(b.sel[:0], c...)
 	b.score = score
-	b.n.Store(int64(len(c)))
+	b.ns.Store(packNS(len(c), score))
 	return true
 }
 

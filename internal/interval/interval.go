@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"fastmon/internal/tunit"
 )
@@ -81,6 +82,15 @@ func New(ivs ...Interval) Set {
 	}
 	return s
 }
+
+// FromCanonical wraps an already-canonical interval slice — sorted by Lo,
+// non-empty, pairwise disjoint with strictly positive gaps — without
+// sorting, merging or copying. The Set aliases ivs; the caller must not
+// modify it afterwards. It is the no-validation fast path for data that
+// was produced by this package's own operations (decoded cache entries,
+// scratch results being frozen). Callers unsure about canonical form must
+// use New.
+func FromCanonical(ivs []Interval) Set { return Set{ivs: ivs} }
 
 // FromPoints builds the set from an alternating boundary list
 // lo1,hi1,lo2,hi2,... — a convenience for tests and table-driven data.
@@ -336,3 +346,203 @@ func (s Set) String() string {
 	}
 	return strings.Join(parts, "∪")
 }
+
+// Copy returns a deep copy with an exact-size backing array. It is the
+// freeze step of the in-place kernel: results accumulated in oversized
+// scratch buffers are copied out once before they escape into long-lived
+// structures (detection tables, the schedule range memo).
+func (s Set) Copy() Set {
+	if s.Empty() {
+		return Set{}
+	}
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return Set{ivs: out}
+}
+
+// In-place kernel
+//
+// The *Into operations below compute the same canonical results as their
+// allocating counterparts but write into dst's backing array, growing it
+// only when capacity runs out. dst must not alias s or o — the merge scans
+// write dst left to right while still reading both inputs. They exist for
+// the scheduling hot path, where the allocating operations dominated the
+// profile (one sort-and-merge allocation per Union on millions of calls).
+
+// UnionInto sets *dst = s ∪ o, reusing dst's capacity. Both inputs are
+// canonical, so the union is a linear two-way merge — no sort.
+func (s Set) UnionInto(o Set, dst *Set) {
+	out := dst.ivs[:0]
+	i, j := 0, 0
+	for i < len(s.ivs) || j < len(o.ivs) {
+		var iv Interval
+		if j >= len(o.ivs) || (i < len(s.ivs) && s.ivs[i].Lo <= o.ivs[j].Lo) {
+			iv = s.ivs[i]
+			i++
+		} else {
+			iv = o.ivs[j]
+			j++
+		}
+		if n := len(out); n > 0 && iv.Lo <= out[n-1].Hi {
+			if iv.Hi > out[n-1].Hi {
+				out[n-1].Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	dst.ivs = out
+}
+
+// IntersectInto sets *dst = s ∩ o, reusing dst's capacity.
+func (s Set) IntersectInto(o Set, dst *Set) {
+	out := dst.ivs[:0]
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(o.ivs) {
+		a, b := s.ivs[i], o.ivs[j]
+		lo := tunit.Max(a.Lo, b.Lo)
+		hi := tunit.Min(a.Hi, b.Hi)
+		if lo < hi {
+			out = append(out, Interval{lo, hi})
+		}
+		if a.Hi < b.Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	dst.ivs = out
+}
+
+// SubtractInto sets *dst = s \ o, reusing dst's capacity.
+func (s Set) SubtractInto(o Set, dst *Set) {
+	out := dst.ivs[:0]
+	j := 0
+	for _, a := range s.ivs {
+		lo := a.Lo
+		for j < len(o.ivs) && o.ivs[j].Hi <= lo {
+			j++
+		}
+		k := j
+		for k < len(o.ivs) && o.ivs[k].Lo < a.Hi {
+			b := o.ivs[k]
+			if b.Lo > lo {
+				out = append(out, Interval{lo, b.Lo})
+			}
+			if b.Hi > lo {
+				lo = b.Hi
+			}
+			if b.Hi >= a.Hi {
+				break
+			}
+			k++
+		}
+		if lo < a.Hi {
+			out = append(out, Interval{lo, a.Hi})
+		}
+	}
+	dst.ivs = out
+}
+
+// ShiftInto sets *dst = s + d, reusing dst's capacity.
+func (s Set) ShiftInto(d tunit.Time, dst *Set) {
+	out := dst.ivs[:0]
+	for _, iv := range s.ivs {
+		out = append(out, Interval{iv.Lo + d, iv.Hi + d})
+	}
+	dst.ivs = out
+}
+
+// ShiftClipInto sets *dst = (s + d) ∩ [lo, hi) in one pass, reusing dst's
+// capacity. It fuses the Shift+Clip pair of the monitor-window algebra
+// (I_SR + d clipped to the observation window), which the scheduling path
+// evaluates once per (fault, pattern, config).
+func (s Set) ShiftClipInto(d tunit.Time, lo, hi tunit.Time, dst *Set) {
+	out := dst.ivs[:0]
+	if lo < hi {
+		for _, iv := range s.ivs {
+			l, h := iv.Lo+d, iv.Hi+d
+			if h <= lo {
+				continue
+			}
+			if l >= hi {
+				break
+			}
+			if l < lo {
+				l = lo
+			}
+			if h > hi {
+				h = hi
+			}
+			if l < h {
+				out = append(out, Interval{l, h})
+			}
+		}
+	}
+	dst.ivs = out
+}
+
+// ClipInto sets *dst = s ∩ [lo, hi), reusing dst's capacity.
+func (s Set) ClipInto(lo, hi tunit.Time, dst *Set) {
+	out := dst.ivs[:0]
+	if lo < hi {
+		for _, iv := range s.ivs {
+			if iv.Hi <= lo {
+				continue
+			}
+			if iv.Lo >= hi {
+				break
+			}
+			clo, chi := tunit.Max(iv.Lo, lo), tunit.Min(iv.Hi, hi)
+			if clo < chi {
+				out = append(out, Interval{clo, chi})
+			}
+		}
+	}
+	dst.ivs = out
+}
+
+// scratchPool recycles Set backing arrays across hot-path call sites (the
+// schedule range memo, detection-range accumulation). Get/Put pairs keep
+// the arrays warm so steady-state kernel work allocates nothing.
+var scratchPool = sync.Pool{New: func() any { return new(Set) }}
+
+// GetScratch returns an empty scratch set from the pool. The caller must
+// return it with PutScratch and must not let it (or any Set aliasing its
+// buffer) escape; freeze escaping results with Copy first.
+func GetScratch() *Set {
+	s := scratchPool.Get().(*Set)
+	s.ivs = s.ivs[:0]
+	return s
+}
+
+// PutScratch returns a scratch set obtained from GetScratch to the pool.
+func PutScratch(s *Set) { scratchPool.Put(s) }
+
+// Accum accumulates a running union without per-step allocation by
+// ping-ponging two grow-only buffers. The zero value is ready to use;
+// Reset rewinds it for reuse without releasing the buffers.
+type Accum struct{ cur, tmp Set }
+
+// Reset empties the accumulator, keeping its buffers.
+func (a *Accum) Reset() { a.cur.ivs = a.cur.ivs[:0] }
+
+// Add unions s into the accumulator.
+func (a *Accum) Add(s Set) {
+	if s.Empty() {
+		return
+	}
+	a.cur.UnionInto(s, &a.tmp)
+	a.cur, a.tmp = a.tmp, a.cur
+}
+
+// Empty reports whether nothing non-empty was added since the last Reset.
+func (a *Accum) Empty() bool { return a.cur.Empty() }
+
+// Result returns the accumulated union. The Set aliases the accumulator's
+// buffer: it is invalidated by the next Add or Reset. Use Copy to freeze
+// a result that outlives the accumulator.
+func (a *Accum) Result() Set { return a.cur }
+
+// Copy returns an exact-size deep copy of the accumulated union.
+func (a *Accum) Copy() Set { return a.cur.Copy() }

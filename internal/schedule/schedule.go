@@ -248,6 +248,89 @@ func cacheKey(data []detect.FaultData, opt Options) cache.Key {
 	return h.Key()
 }
 
+// comboConfigs returns the candidate monitor configurations for a build:
+// flip-flops only when there are no delay elements, one free-configuration
+// pseudo-config under the FreeConfig extension, and otherwise one config
+// per delay element (monitors are always engaged when available — a combo
+// that ignores them is dominated by any delay setting).
+func comboConfigs(opt Options, delays []tunit.Time) []int {
+	if len(delays) == 0 {
+		return []int{ConfigOff}
+	}
+	if opt.FreeConfig {
+		return []int{ConfigFree}
+	}
+	configs := make([]int, len(delays))
+	for ci := range delays {
+		configs[ci] = ci
+	}
+	return configs
+}
+
+// rangeTable is the shared immutable detection-range memo of one build:
+// every per-(fault, pattern, config) combined range is computed exactly
+// once, before Step 1, and then only read — by candidate discretization
+// (through the per-fault unions), by every Step-2 combo solve, and by
+// Validate. The old code recomputed each CombinedAt/CombinedFree from
+// scratch at every lookup, allocating intermediate clip/shift/union sets
+// each time.
+type rangeTable struct {
+	// cfgs is the config axis (comboConfigs order); ck below indexes it.
+	cfgs []int
+	// per[fi][pi][ck] is data[fi].Per[pi]'s combined detection range under
+	// cfgs[ck].
+	per [][][]interval.Set
+	// combined[fi] is the union of per[fi][·][·] — identical to
+	// data[fi].Combined(cfg, delays), because shift and clip distribute
+	// over union and the canonical interval representation is unique.
+	combined []interval.Set
+}
+
+// dropPool recycles the per-period fault-set scratch of the fault-dropping
+// pass.
+var dropPool bitset.Pool
+
+// newRangeTable materializes the memo. The construction is a single
+// serial pass (its output feeds Step 1, so there is nothing to overlap it
+// with); each entry is built into a reused accumulator and frozen with an
+// exact-size copy.
+func newRangeTable(ctx context.Context, data []detect.FaultData, opt Options, delays []tunit.Time) *rangeTable {
+	tbl := &rangeTable{
+		cfgs:     comboConfigs(opt, delays),
+		per:      make([][][]interval.Set, len(data)),
+		combined: make([]interval.Set, len(data)),
+	}
+	var acc, all interval.Accum
+	scratch := interval.GetScratch()
+	defer interval.PutScratch(scratch)
+	entries := int64(0)
+	for fi := range data {
+		per := make([][]interval.Set, len(data[fi].Per))
+		all.Reset()
+		for pi, pr := range data[fi].Per {
+			row := make([]interval.Set, len(tbl.cfgs))
+			for ck, ci := range tbl.cfgs {
+				switch {
+				case ci == ConfigFree:
+					pr.CombinedFreeInto(opt.Cfg, delays, &acc, scratch)
+				case ci >= 0:
+					pr.CombinedAtInto(opt.Cfg, delays[ci], &acc, scratch)
+				default:
+					pr.CombinedAtInto(opt.Cfg, -1, &acc, scratch)
+				}
+				row[ck] = acc.Copy()
+				all.Add(row[ck])
+				entries++
+			}
+			per[pi] = row
+		}
+		tbl.per[fi] = per
+		tbl.combined[fi] = all.Copy()
+	}
+	obs.From(ctx).Counter("schedule.range_memo_misses").Add(entries)
+	return tbl
+}
+
 // build is the uncached body of Build.
 func build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule, error) {
 	delays := opt.Delays
@@ -274,11 +357,12 @@ func build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 	}()
 
 	// Step 0: combined detection ranges and observation-time candidates.
-	ranges := make([]interval.Set, len(data))
-	for i := range data {
-		ranges[i] = data[i].Combined(opt.Cfg, delays)
-	}
-	cands := dot.Discretize(ranges)
+	// The range table computes every per-(fault, pattern, config) range
+	// exactly once up front; its per-fault unions are byte-identical to
+	// FaultData.Combined, and Step 2 reads the per-entry rows instead of
+	// recomputing them per period.
+	tbl := newRangeTable(ctx, data, opt, delays)
+	cands := dot.Discretize(tbl.combined)
 	universe := dot.CoverableFaults(cands, len(data))
 	coverable := universe.Count()
 
@@ -335,19 +419,28 @@ func build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 
 	// Fault dropping: process the selected periods by decreasing fault
 	// count; each fault is assigned to the first period that detects it.
+	cnt := make([]int, len(cands))
+	for _, ci := range selected {
+		cnt[ci] = cands[ci].Faults.Count()
+	}
 	sort.SliceStable(selected, func(a, b int) bool {
-		return cands[selected[a]].Faults.Count() > cands[selected[b]].Faults.Count()
+		return cnt[selected[a]] > cnt[selected[b]]
 	})
 	assigned := bitset.New(len(data))
 	plans := make([]PeriodPlan, 0, len(selected))
 	for _, ci := range selected {
 		c := cands[ci]
-		mine := c.Faults.Clone()
+		if quota >= coverable && c.Faults.AndNotCount(assigned) == 0 {
+			// Full coverage: nothing new here, skip without cloning.
+			continue
+		}
+		mine := dropPool.CloneOf(c.Faults)
 		mine.AndNot(assigned)
 		if quota < coverable {
 			// Partial coverage: stop assigning once the quota is reached.
 			deficit := quota - assigned.Count()
 			if deficit <= 0 {
+				dropPool.Put(mine)
 				break
 			}
 			if mine.Count() > deficit {
@@ -360,10 +453,12 @@ func build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 			}
 		}
 		if mine.Empty() {
+			dropPool.Put(mine)
 			continue
 		}
 		assigned.Or(mine)
 		plans = append(plans, PeriodPlan{Period: c.T, Faults: mine.Members(nil)})
+		dropPool.Put(mine)
 	}
 	s.Covered = assigned.Count()
 
@@ -387,7 +482,10 @@ func build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 		nextPlan atomic.Int64
 		errIdx   int
 		firstErr error
+		busyNs   atomic.Int64
+		hits     atomic.Int64
 	)
+	step2Start := time.Now()
 	record := func(res ilp.CoverResult, isILP bool) {
 		mu.Lock()
 		defer mu.Unlock()
@@ -419,7 +517,9 @@ func build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 			} else if cerr := chaos.Point(ctx, ptCombo); cerr != nil {
 				err = fmerr.Wrap(fmerr.StageSchedule, "combo-selection", cerr)
 			} else {
-				err = optimizeCombos(ctx, data, &plans[pi], opt, delays, record)
+				t0 := time.Now()
+				err = optimizeCombos(ctx, data, tbl, &plans[pi], opt, &hits, record)
+				busyNs.Add(int64(time.Since(t0)))
 			}
 			if err != nil {
 				mu.Lock()
@@ -434,8 +534,13 @@ func build(ctx context.Context, data []detect.FaultData, opt Options) (*Schedule
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	o := obs.From(ctx)
+	o.Counter("schedule.range_memo_hits").Add(hits.Load())
+	if poolNs := int64(workers) * int64(time.Since(step2Start)); poolNs > 0 {
+		o.Gauge("schedule.worker_utilization").Set(float64(busyNs.Load()) / float64(poolNs))
+	}
 	if workers > 1 {
-		obs.From(ctx).Counter("schedule.parallel_combos").Add(int64(len(plans)))
+		o.Counter("schedule.parallel_combos").Add(int64(len(plans)))
 	}
 	sort.Slice(plans, func(a, b int) bool { return plans[a].Period < plans[b].Period })
 	s.Periods = plans
@@ -476,38 +581,25 @@ func solveBudgeted(ctx context.Context, opt Options,
 
 // optimizeCombos fills plan.Combos with a minimal covering set of
 // (pattern, config) combinations for the faults assigned to the period.
-// The caller owns plan; shared schedule bookkeeping goes through record,
-// which must be safe for concurrent use (Step 2 fans out across plans).
-func optimizeCombos(ctx context.Context, data []detect.FaultData, plan *PeriodPlan, opt Options,
-	delays []tunit.Time, record func(res ilp.CoverResult, isILP bool)) error {
+// Detection ranges come from the shared memo table — each lookup is a
+// binary-search Contains on a prebuilt canonical set (counted into hits)
+// instead of a fresh clip/shift/union cascade. The caller owns plan;
+// shared schedule bookkeeping goes through record, which must be safe for
+// concurrent use (Step 2 fans out across plans).
+func optimizeCombos(ctx context.Context, data []detect.FaultData, tbl *rangeTable, plan *PeriodPlan,
+	opt Options, hits *atomic.Int64, record func(res ilp.CoverResult, isILP bool)) error {
 
-	configs := []int{ConfigOff}
-	if len(delays) > 0 {
-		if opt.FreeConfig {
-			configs = []int{ConfigFree}
-		} else {
-			configs = configs[:0]
-			for ci := range delays {
-				configs = append(configs, ci)
-			}
-		}
-	}
 	type key struct{ pattern, config int }
 	cover := map[key]*bitset.Set{}
+	lookups := int64(0)
 	for _, fi := range plan.Faults {
-		for _, pr := range data[fi].Per {
-			for _, ci := range configs {
-				var rng interval.Set
-				switch {
-				case ci == ConfigFree:
-					rng = pr.CombinedFree(opt.Cfg, delays)
-				case ci >= 0:
-					rng = pr.CombinedAt(opt.Cfg, delays[ci])
-				default:
-					rng = pr.CombinedAt(opt.Cfg, -1)
-				}
-				if rng.Contains(plan.Period) {
-					k := key{pr.Pattern, ci}
+		prs := data[fi].Per
+		rows := tbl.per[fi]
+		for pi := range prs {
+			for ck, ci := range tbl.cfgs {
+				lookups++
+				if rows[pi][ck].Contains(plan.Period) {
+					k := key{prs[pi].Pattern, ci}
 					if cover[k] == nil {
 						cover[k] = bitset.New(len(data))
 					}
@@ -516,6 +608,7 @@ func optimizeCombos(ctx context.Context, data []detect.FaultData, plan *PeriodPl
 			}
 		}
 	}
+	hits.Add(lookups)
 	keys := make([]key, 0, len(cover))
 	for k := range cover {
 		keys = append(keys, k)
@@ -566,23 +659,35 @@ func Validate(data []detect.FaultData, s *Schedule, opt Options) error {
 	if s.Method == Conventional {
 		delays = nil
 	}
+	// Validate builds its own range memo (it may run against data no Build
+	// call touched); combo configs outside the table — possible only for
+	// hand-constructed schedules — fall back to direct computation.
+	tbl := newRangeTable(context.Background(), data, opt, delays)
+	ck := make(map[int]int, len(tbl.cfgs))
+	for i, ci := range tbl.cfgs {
+		ck[ci] = i
+	}
 	total := 0
 	for _, plan := range s.Periods {
 		for _, fi := range plan.Faults {
 			ok := false
 			for _, combo := range plan.Combos {
-				for _, pr := range data[fi].Per {
+				for pi, pr := range data[fi].Per {
 					if pr.Pattern != combo.Pattern {
 						continue
 					}
 					var rng interval.Set
-					switch {
-					case combo.Config == ConfigFree:
-						rng = pr.CombinedFree(opt.Cfg, delays)
-					case combo.Config >= 0:
-						rng = pr.CombinedAt(opt.Cfg, delays[combo.Config])
-					default:
-						rng = pr.CombinedAt(opt.Cfg, -1)
+					if k, known := ck[combo.Config]; known {
+						rng = tbl.per[fi][pi][k]
+					} else {
+						switch {
+						case combo.Config == ConfigFree:
+							rng = pr.CombinedFree(opt.Cfg, delays)
+						case combo.Config >= 0:
+							rng = pr.CombinedAt(opt.Cfg, delays[combo.Config])
+						default:
+							rng = pr.CombinedAt(opt.Cfg, -1)
+						}
 					}
 					if rng.Contains(plan.Period) {
 						ok = true
